@@ -1,0 +1,85 @@
+//! Transaction-level measurement shared by the applications.
+
+use onepipe_netsim::stats::Samples;
+
+/// One completed transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnRecord {
+    /// True time the transaction was issued.
+    pub start: u64,
+    /// True time it completed.
+    pub end: u64,
+    /// Classification: 0 = read-only, 1 = write-only, 2 = read-write
+    /// (applications may use their own codes).
+    pub kind: u8,
+    /// Retries before success (aborts under OCC/locking).
+    pub retries: u32,
+}
+
+/// Aggregated transaction metrics over a window.
+pub struct TxnMetrics {
+    /// Transactions per second (total).
+    pub tput: f64,
+    /// Latency samples (ns) per kind code.
+    pub latency_by_kind: Vec<(u8, Samples)>,
+    /// All-latency samples (ns).
+    pub latency: Samples,
+    /// Mean retries per committed transaction.
+    pub mean_retries: f64,
+    /// Number of transactions in the window.
+    pub count: usize,
+}
+
+impl TxnMetrics {
+    /// Compute metrics from records completing within `[t0, t1]`.
+    pub fn over_window(records: &[TxnRecord], t0: u64, t1: u64) -> TxnMetrics {
+        let mut latency = Samples::new();
+        let mut by_kind: std::collections::BTreeMap<u8, Samples> = Default::default();
+        let mut retries = 0u64;
+        let mut count = 0usize;
+        for r in records {
+            if r.end < t0 || r.end > t1 {
+                continue;
+            }
+            count += 1;
+            retries += r.retries as u64;
+            let l = (r.end - r.start) as f64;
+            latency.push(l);
+            by_kind.entry(r.kind).or_default().push(l);
+        }
+        let secs = ((t1 - t0) as f64 / 1e9).max(1e-12);
+        TxnMetrics {
+            tput: count as f64 / secs,
+            latency_by_kind: by_kind.into_iter().collect(),
+            latency,
+            mean_retries: if count == 0 { 0.0 } else { retries as f64 / count as f64 },
+            count,
+        }
+    }
+
+    /// Latency samples for a kind code, if any completed.
+    pub fn kind(&self, k: u8) -> Option<&Samples> {
+        self.latency_by_kind.iter().find(|(kk, _)| *kk == k).map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_metrics() {
+        let records = vec![
+            TxnRecord { start: 0, end: 1_000, kind: 0, retries: 0 },
+            TxnRecord { start: 500, end: 2_000, kind: 2, retries: 1 },
+            TxnRecord { start: 0, end: 99_999_999, kind: 0, retries: 0 }, // outside
+        ];
+        let m = TxnMetrics::over_window(&records, 0, 10_000);
+        assert_eq!(m.count, 2);
+        assert!((m.mean_retries - 0.5).abs() < 1e-9);
+        assert!(m.kind(0).is_some());
+        assert!(m.kind(2).is_some());
+        assert!(m.kind(1).is_none());
+        assert_eq!(m.latency.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload generation: key distributions and value sizes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Key popularity distribution.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform {
+        /// Number of distinct keys.
+        n: u64,
+    },
+    /// YCSB-style zipfian (Gray et al. generator), `theta` ≈ 0.99.
+    Zipf(Zipfian),
+}
+
+impl KeyDist {
+    /// Uniform distribution over `n` keys.
+    pub fn uniform(n: u64) -> Self {
+        KeyDist::Uniform { n }
+    }
+
+    /// YCSB zipfian over `n` keys with the standard θ = 0.99.
+    pub fn ycsb(n: u64) -> Self {
+        KeyDist::Zipf(Zipfian::new(n, 0.99))
+    }
+
+    /// Draw a key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.random_range(0..*n),
+            KeyDist::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// The classic zipfian generator from Gray et al., "Quickly generating
+/// billion-record synthetic databases" (the one YCSB uses).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Zipfian over `[0, n)` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For large n this O(n) sum is done once at construction.
+        let mut sum = 0.0;
+        for i in 1..=n.min(10_000_000) {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Draw a sample (items are *not* shuffled: item 0 is the hottest, as
+    /// in YCSB's scrambled variant the hash below decorrelates placement).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// Value sizes following the shape of Facebook's ETC workload (Atikoglu
+/// et al., SIGMETRICS'12): dominated by small values with a heavy tail.
+pub fn etc_value_size(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random_range(0.0..1.0);
+    if u < 0.4 {
+        rng.random_range(8..32)
+    } else if u < 0.8 {
+        rng.random_range(32..128)
+    } else if u < 0.99 {
+        rng.random_range(128..512)
+    } else {
+        rng.random_range(512..4096)
+    }
+}
+
+/// Stable key → shard assignment by multiplicative hashing.
+pub fn shard_of(key: u64, n_shards: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let d = KeyDist::uniform(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            let k = d.sample(&mut rng);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 90);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let d = KeyDist::ycsb(10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(d.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        // The hottest key must take a large share (zipf 0.99 → ~10 %).
+        let hottest = counts.values().max().copied().unwrap();
+        assert!(hottest > 1_000, "hottest {hottest}");
+        // But the tail is long.
+        assert!(counts.len() > 1_000);
+    }
+
+    #[test]
+    fn zipf_within_range() {
+        let z = Zipfian::new(50, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn etc_sizes_mostly_small() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sizes: Vec<usize> = (0..10_000).map(|_| etc_value_size(&mut rng)).collect();
+        let small = sizes.iter().filter(|&&s| s < 128).count();
+        assert!(small > 7_000);
+        assert!(sizes.iter().all(|&s| (8..4096).contains(&s)));
+    }
+
+    #[test]
+    fn sharding_is_stable_and_balanced() {
+        let a = shard_of(42, 16);
+        assert_eq!(a, shard_of(42, 16));
+        let mut counts = vec![0u32; 16];
+        for k in 0..16_000u64 {
+            counts[shard_of(k, 16)] += 1;
+        }
+        for &c in &counts {
+            assert!((500..1_500).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+}

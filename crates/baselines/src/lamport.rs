@@ -1,0 +1,293 @@
+//! Lamport-timestamp total order broadcast with periodic timestamp
+//! exchange (the paper's "Lamport" baseline, §7.2: "a common optimization
+//! ... which exchanges received timestamps per interval rather than per
+//! message").
+//!
+//! Every process stamps broadcasts with a Lamport logical clock and sends
+//! copies directly to all processes. A receiver may deliver a message
+//! only once it knows every process's clock has passed the message's
+//! timestamp, which it learns from data messages and from periodic status
+//! broadcasts. The status exchange is O(N²) messages per interval — the
+//! scalability wall Figure 8 shows. This is also the "receiver-side
+//! aggregation" ablation: it computes exactly the 1Pipe barrier, but at
+//! the edge instead of in the network.
+
+use crate::measure::ProbeHandle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use onepipe_netsim::engine::{Ctx, NodeLogic, SimPacket};
+use onepipe_types::ids::{HostId, NodeId, ProcessId};
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
+use std::collections::BTreeMap;
+
+const WORK_BASE: u64 = 100;
+const EXCHANGE: u64 = 98;
+
+const TAG_DATA: u8 = 0;
+const TAG_STATUS: u8 = 1;
+
+fn dgram(src: ProcessId, dst: ProcessId, payload: Bytes) -> Datagram {
+    Datagram {
+        src,
+        dst,
+        header: PacketHeader {
+            msg_ts: Timestamp::ZERO,
+            barrier: Timestamp::ZERO,
+            commit_barrier: Timestamp::ZERO,
+            psn: 0,
+            opcode: Opcode::Control,
+            flags: Flags::empty(),
+        },
+        payload,
+    }
+}
+
+/// Host logic for Lamport-timestamp broadcast.
+pub struct LamportHost {
+    /// This host.
+    pub host: HostId,
+    tor: NodeId,
+    procs: Vec<ProcessId>,
+    all_procs: Vec<ProcessId>,
+    rate: f64,
+    max_sends: u64,
+    /// Status-exchange interval (ns).
+    pub exchange_interval: u64,
+    sent: Vec<u64>,
+    /// Per-local-process Lamport clock.
+    lts: Vec<u64>,
+    /// Per-local-process: last known clock of every process.
+    last_seen: Vec<Vec<u64>>,
+    /// Per-local-process buffered messages keyed by (lts, origin, k).
+    pending: Vec<BTreeMap<(u64, u32, u64), ()>>,
+    probe: ProbeHandle,
+}
+
+impl LamportHost {
+    /// Create the logic for one host.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        host: HostId,
+        tor: NodeId,
+        procs: Vec<ProcessId>,
+        all_procs: Vec<ProcessId>,
+        rate: f64,
+        max_sends: u64,
+        exchange_interval: u64,
+        probe: ProbeHandle,
+    ) -> Self {
+        let n_local = procs.len();
+        let n_all = all_procs.len();
+        LamportHost {
+            host,
+            tor,
+            procs,
+            all_procs,
+            rate,
+            max_sends,
+            exchange_interval,
+            sent: vec![0; n_local],
+            lts: vec![0; n_local],
+            last_seen: vec![vec![0; n_all]; n_local],
+            pending: vec![BTreeMap::new(); n_local],
+            probe,
+        }
+    }
+
+    fn interval(&self) -> u64 {
+        (1e9 / self.rate).max(1.0) as u64
+    }
+
+    fn local_index(&self, p: ProcessId) -> Option<usize> {
+        self.procs.iter().position(|&x| x == p)
+    }
+
+    fn global_index(&self, p: ProcessId) -> Option<usize> {
+        self.all_procs.iter().position(|&x| x == p)
+    }
+
+    fn data_payload(origin: ProcessId, k: u64, ts: u64) -> Bytes {
+        let mut b = BytesMut::with_capacity(21 + 43);
+        b.put_u8(TAG_DATA);
+        b.put_u32(origin.0);
+        b.put_u64(k);
+        b.put_u64(ts);
+        b.extend_from_slice(&[0u8; 43]);
+        b.freeze()
+    }
+
+    fn status_payload(origin: ProcessId, ts: u64) -> Bytes {
+        let mut b = BytesMut::with_capacity(13);
+        b.put_u8(TAG_STATUS);
+        b.put_u32(origin.0);
+        b.put_u64(ts);
+        b.freeze()
+    }
+
+    /// Try to deliver buffered messages on local process `i`: everything
+    /// strictly below the minimum clock seen from all processes.
+    fn try_deliver(&mut self, now: u64, i: usize) {
+        let min_seen = *self.last_seen[i].iter().min().unwrap_or(&0);
+        while let Some((&(ts, origin, k), _)) = self.pending[i].first_key_value() {
+            if ts >= min_seen {
+                break;
+            }
+            self.pending[i].remove(&(ts, origin, k));
+            self.probe.borrow_mut().record_delivery(
+                now,
+                self.procs[i],
+                ProcessId(origin),
+                k,
+                (ts, origin),
+            );
+        }
+    }
+
+    fn observe(&mut self, now: u64, i: usize, from: ProcessId, ts: u64) {
+        if let Some(g) = self.global_index(from) {
+            if self.last_seen[i][g] < ts {
+                self.last_seen[i][g] = ts;
+                self.try_deliver(now, i);
+            }
+        }
+    }
+}
+
+impl NodeLogic for LamportHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.procs.len() {
+            let phase = 1 + (self.procs[i].0 as u64 * 89) % self.interval();
+            ctx.set_timer(phase, WORK_BASE + i as u64);
+        }
+        ctx.set_timer(self.exchange_interval, EXCHANGE);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
+        let d = pkt.dgram;
+        let mut p = d.payload.clone();
+        if p.is_empty() {
+            return;
+        }
+        let tag = p.get_u8();
+        let Some(i) = self.local_index(d.dst) else { return };
+        match tag {
+            TAG_DATA if p.remaining() >= 20 => {
+                let origin = ProcessId(p.get_u32());
+                let k = p.get_u64();
+                let ts = p.get_u64();
+                self.lts[i] = self.lts[i].max(ts);
+                self.pending[i].insert((ts, origin.0, k), ());
+                // A data message also reveals the sender's clock.
+                self.observe(ctx.now(), i, origin, ts);
+            }
+            TAG_STATUS if p.remaining() >= 12 => {
+                let origin = ProcessId(p.get_u32());
+                let ts = p.get_u64();
+                self.lts[i] = self.lts[i].max(ts);
+                self.observe(ctx.now(), i, origin, ts);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == EXCHANGE {
+            // Every local process broadcasts its clock to everyone.
+            for i in 0..self.procs.len() {
+                self.lts[i] += 1;
+                let origin = self.procs[i];
+                let ts = self.lts[i];
+                for &p in &self.all_procs.clone() {
+                    if let Some(j) = self.local_index(p) {
+                        self.observe(ctx.now(), j, origin, ts);
+                    } else {
+                        let d = dgram(origin, p, Self::status_payload(origin, ts));
+                        ctx.send(self.tor, SimPacket::new(d));
+                    }
+                }
+            }
+            ctx.set_timer(self.exchange_interval, EXCHANGE);
+            return;
+        }
+        if token >= WORK_BASE {
+            let i = (token - WORK_BASE) as usize;
+            if i >= self.procs.len() || self.sent[i] >= self.max_sends {
+                return;
+            }
+            let origin = self.procs[i];
+            let k = self.sent[i];
+            self.sent[i] += 1;
+            self.lts[i] += 1;
+            let ts = self.lts[i];
+            self.probe.borrow_mut().record_send(ctx.now(), origin, k);
+            for &p in &self.all_procs.clone() {
+                if let Some(j) = self.local_index(p) {
+                    self.pending[j].insert((ts, origin.0, k), ());
+                    self.observe(ctx.now(), j, origin, ts);
+                } else {
+                    let d = dgram(origin, p, Self::data_payload(origin, k, ts));
+                    ctx.send(self.tor, SimPacket::new(d));
+                }
+            }
+            ctx.set_timer(self.interval(), token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::BroadcastProbe;
+    use crate::plain::PlainSwitch;
+    use onepipe_netsim::engine::Sim;
+    use onepipe_netsim::topology::{FatTreeParams, Topology};
+    use onepipe_types::process_map::ProcessMap;
+    use std::rc::Rc;
+
+    fn run_lamport(n: usize, rate: f64, exchange: u64, dur: u64) -> ProbeHandle {
+        let mut sim = Sim::new(5);
+        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
+        let procs = Rc::new(ProcessMap::place_round_robin(n, n));
+        PlainSwitch::install_all(&mut sim, &topo, &procs);
+        let probe = BroadcastProbe::shared();
+        let all: Vec<ProcessId> = procs.all().collect();
+        for h in 0..n {
+            let host = HostId(h as u32);
+            let logic = LamportHost::new(
+                host,
+                topo.tor_up_of(host),
+                procs.processes_on(host).to_vec(),
+                all.clone(),
+                rate,
+                u64::MAX,
+                exchange,
+                probe.clone(),
+            );
+            sim.set_logic(topo.host_node(host), Box::new(logic));
+        }
+        sim.run_until(dur);
+        probe
+    }
+
+    #[test]
+    fn lamport_delivers_in_consistent_order() {
+        let probe = run_lamport(4, 100_000.0, 10_000, 3_000_000);
+        assert!(probe.borrow().delivery_count() > 0);
+        assert_eq!(probe.borrow().order_violations, 0);
+    }
+
+    #[test]
+    fn shorter_exchange_interval_means_lower_latency() {
+        let fast = run_lamport(4, 50_000.0, 5_000, 3_000_000);
+        let slow = run_lamport(4, 50_000.0, 50_000, 3_000_000);
+        let fm = fast.borrow().metrics(4, 500_000, 3_000_000);
+        let sm = slow.borrow().metrics(4, 500_000, 3_000_000);
+        assert!(fm.latency.mean() > 0.0 && sm.latency.mean() > 0.0);
+        assert!(
+            fm.latency.mean() < sm.latency.mean(),
+            "fast {} vs slow {}",
+            fm.latency.mean(),
+            sm.latency.mean()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Total-order broadcast baselines compared against 1Pipe in Figure 8:
+//!
+//! * [`sequencer`] — a centralized sequencer, either on a programmable
+//!   switch (Eris/NetChain style, "SwitchSeq") or on a host NIC
+//!   ("HostSeq"). All broadcasts detour through the sequencer, which
+//!   stamps a global sequence number and fans copies out; it is both a
+//!   processing and a bandwidth bottleneck.
+//! * [`token`] — token-passing total order (Totem style): only the token
+//!   holder may broadcast, stamping messages from the token's global
+//!   counter.
+//! * [`lamport`] — Lamport logical timestamps with periodic timestamp
+//!   exchange: receivers deliver a message once every process's last
+//!   reported timestamp exceeds it. This is also the "receiver-side
+//!   aggregation" ablation of in-network barrier aggregation.
+//!
+//! All baselines run over the same [`onepipe-netsim`] substrate as 1Pipe,
+//! with plain forwarding switches ([`plain::PlainSwitch`]) instead of
+//! barrier-aggregating ones, and share a measurement harness
+//! ([`measure`]).
+//!
+//! [`onepipe-netsim`]: ../onepipe_netsim/index.html
+
+#![warn(missing_docs)]
+
+pub mod lamport;
+pub mod measure;
+pub mod plain;
+pub mod sequencer;
+pub mod token;
+
+pub use measure::{BroadcastMetrics, BroadcastProbe};
+pub use plain::PlainSwitch;

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of 1Pipe's hot paths: timestamp ordering,
+//! wire codec, barrier aggregation (eq. 4.1), the receive-side reorder
+//! buffer, and the zipfian workload generator — plus the reorder-buffer
+//! data-structure ablation (BTreeMap vs sorted Vec) from DESIGN.md §5.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use onepipe_core::frag::START_OF_MESSAGE;
+use onepipe_core::reorder::ReorderBuffer;
+use onepipe_switchlogic::barrier::BarrierAggregator;
+use onepipe_types::ids::{NodeId, ProcessId};
+use onepipe_types::message::OrderKey;
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::{Datagram, Flags, PacketHeader};
+
+fn bench_timestamp(c: &mut Criterion) {
+    let a = Timestamp::from_nanos(123_456_789);
+    let b = Timestamp::from_nanos(123_456_790);
+    c.bench_function("timestamp/ring_compare", |bench| {
+        bench.iter(|| black_box(black_box(a) < black_box(b)))
+    });
+    c.bench_function("timestamp/diff", |bench| {
+        bench.iter(|| black_box(black_box(a).diff(black_box(b))))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let d = Datagram {
+        src: ProcessId(1),
+        dst: ProcessId(2),
+        header: PacketHeader::data(Timestamp::from_nanos(42), 7, Flags::END_OF_MESSAGE),
+        payload: bytes::Bytes::from(vec![0u8; 64]),
+    };
+    c.bench_function("wire/encode_64B", |bench| bench.iter(|| black_box(d.encode())));
+    let encoded = d.encode();
+    c.bench_function("wire/decode_64B", |bench| {
+        bench.iter(|| black_box(Datagram::decode(encoded.clone()).unwrap()))
+    });
+}
+
+fn bench_barrier_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier/min_aggregation");
+    for ports in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |bench, &ports| {
+            let inputs: Vec<NodeId> = (0..ports as u32).map(NodeId).collect();
+            let mut agg = BarrierAggregator::new(inputs.clone());
+            let mut t = 0u64;
+            bench.iter(|| {
+                t += 1;
+                agg.observe_be(inputs[(t % ports as u64) as usize], Timestamp::from_nanos(t), t);
+                black_box(agg.out_be())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorder_buffer(c: &mut Criterion) {
+    let flags = START_OF_MESSAGE | Flags::END_OF_MESSAGE;
+    let mut group = c.benchmark_group("reorder/insert_and_advance");
+    for batch in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, &batch| {
+            bench.iter(|| {
+                let mut rb = ReorderBuffer::new(false, false);
+                for i in 0..batch as u64 {
+                    let key = OrderKey {
+                        ts: Timestamp::from_nanos(1_000 + (i * 37) % 500),
+                        sender: ProcessId((i % 16) as u32),
+                        seq: i,
+                    };
+                    rb.insert_fragment(key, 0, i as u32, flags, bytes::Bytes::from_static(&[0u8; 64]));
+                }
+                black_box(rb.advance(Timestamp::from_nanos(10_000)))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation (c): the reorder buffer as a sorted Vec instead of a BTreeMap.
+fn bench_reorder_ablation_sorted_vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/ablation_sorted_vec");
+    for batch in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, &batch| {
+            bench.iter(|| {
+                let mut buf: Vec<(OrderKey, [u8; 64])> = Vec::new();
+                for i in 0..batch as u64 {
+                    let key = OrderKey {
+                        ts: Timestamp::from_nanos(1_000 + (i * 37) % 500),
+                        sender: ProcessId((i % 16) as u32),
+                        seq: i,
+                    };
+                    let pos = buf.partition_point(|(k, _)| *k < key);
+                    buf.insert(pos, (key, [0u8; 64]));
+                }
+                // advance = drain the prefix below the barrier
+                let barrier = Timestamp::from_nanos(10_000);
+                let cut = buf.partition_point(|(k, _)| k.ts < barrier);
+                black_box(buf.drain(..cut).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use onepipe_apps::workload::KeyDist;
+    use rand::SeedableRng;
+    let dist = KeyDist::ycsb(1_000_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    c.bench_function("workload/zipf_sample", |bench| {
+        bench.iter(|| black_box(dist.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timestamp,
+    bench_wire,
+    bench_barrier_aggregation,
+    bench_reorder_buffer,
+    bench_reorder_ablation_sorted_vec,
+    bench_zipf
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 12: the impact of queueing delay on 1Pipe latency.
+//!
+//! (a) Latency vs number of background bulk flows per host: flows share
+//!     the fabric with 1Pipe traffic and build queues.
+//! (b) Latency vs fabric oversubscription ratio: core links get slower,
+//!     so congestion (and hence barrier delay) grows.
+
+use onepipe_bench::{row, run_onepipe_unicast, us};
+use onepipe_core::harness::{Cluster, ClusterConfig};
+use onepipe_netsim::traffic::{BackgroundTraffic, FlowSpec};
+use onepipe_switchlogic::switch::Incarnation;
+use onepipe_types::ids::{HostId, ProcessId};
+
+fn cluster(oversub: f64) -> Cluster {
+    let mut cfg = ClusterConfig::testbed(32);
+    cfg.switch.incarnation = Incarnation::testbed_host_delegate();
+    cfg.topo.oversubscription = oversub;
+    cfg.seed = 31;
+    Cluster::new(cfg)
+}
+
+/// Attach `flows` background flows per host, each targeting a host in the
+/// other pod (crossing the core, where the queues build).
+fn add_background(c: &mut Cluster, flows: usize, rate_bps: u64) {
+    if flows == 0 {
+        return;
+    }
+    let n_hosts = c.topo.num_hosts() as u32;
+    for h in 0..n_hosts {
+        let specs: Vec<FlowSpec> = (0..flows)
+            .map(|i| {
+                let dst = (h + 16 + i as u32) % n_hosts;
+                FlowSpec {
+                    dst_host: HostId(dst),
+                    dst_proc: ProcessId(dst),
+                    src_proc: ProcessId(h),
+                    rate_bps,
+                    packet_bytes: 1000,
+                }
+            })
+            .collect();
+        let tor = c.topo.tor_up_of(HostId(h));
+        c.set_traffic(HostId(h), BackgroundTraffic::new(specs, tor));
+    }
+}
+
+fn run(flows: usize, oversub: f64, reliable: bool) -> f64 {
+    let mut c = cluster(oversub);
+    // Each flow offers ~2 Gbps: 10 flows ≈ 20 % host-link load, more in
+    // the (oversubscribed) core.
+    add_background(&mut c, flows, 2_000_000_000);
+    let m = run_onepipe_unicast(&mut c, 32, 20_000, 2_000_000, reliable);
+    us(m.latency.mean())
+}
+
+fn main() {
+    println!("# Figure 12a: latency (us) vs background flows per host (host-delegate, 32 procs)");
+    row(&["flows".into(), "BE-host".into(), "R-host".into()]);
+    for &f in &[0usize, 2, 4, 6, 8, 10] {
+        row(&[
+            f.to_string(),
+            format!("{:.1}", run(f, 1.0, false)),
+            format!("{:.1}", run(f, 1.0, true)),
+        ]);
+    }
+    println!("\n# Figure 12b: latency (us) vs oversubscription ratio (4 background flows/host)");
+    row(&["ratio".into(), "BE-host".into(), "R-host".into()]);
+    for &r in &[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        row(&[
+            format!("{r}:1"),
+            format!("{:.1}", run(4, r, false)),
+            format!("{:.1}", run(4, r, true)),
+        ]);
+    }
+    println!("# paper: 12a rises to ~30 (BE) / ~50 (R) us; 12b rises toward ~100 us");
+}

@@ -1,0 +1,92 @@
+//! Figure 13: beacon overhead under different beacon intervals.
+//!
+//! (a) CPU cost: fraction of one CPU core needed to process a 32-port
+//!     switch's beacons, for three processing paths — the Arista switch
+//!     CPU through the OS IP stack, the same CPU with raw packet access,
+//!     and a host representative using DPDK-class processing (the
+//!     testbed's configuration). Cost model: per-beacon processing time ×
+//!     beacon rate (2 × 32 links, rx + tx), cross-checked against beacon
+//!     counts measured in simulation.
+//! (b) Network overhead: beacon bytes as a fraction of link bandwidth,
+//!     analytic (84 B per beacon per interval) and cross-checked against
+//!     simulated per-link beacon counts.
+
+use onepipe_bench::row;
+use onepipe_core::harness::{Cluster, ClusterConfig};
+use onepipe_netsim::engine::WIRE_OVERHEAD;
+use onepipe_types::wire::HEADER_LEN;
+
+/// Per-beacon-transmission processing costs (ns), calibrated to §7.2's
+/// sustained intervals: a host core (RDMA writes; receives are NIC DMA)
+/// sustains the 3 µs interval → ~94 ns/op; the switch CPU with raw packet
+/// access has ~1/3 of that capacity → ~280 ns/op and sustains 10 µs; the
+/// OS IP stack path is an order of magnitude worse still (extrapolated,
+/// as in the paper).
+const COST_OS_NS: f64 = 3_000.0;
+const COST_RAW_NS: f64 = 280.0;
+const COST_DPDK_NS: f64 = 94.0;
+
+const PORTS: f64 = 32.0;
+const BEACON_BYTES: f64 = (WIRE_OVERHEAD as usize + HEADER_LEN) as f64;
+
+fn cpu_fraction(interval_ns: f64, cost_ns: f64) -> f64 {
+    // One beacon transmission per output link per interval (receives are
+    // register writes / NIC DMA and cost ~nothing on the counted core).
+    let beacons_per_sec = PORTS * 1e9 / interval_ns;
+    beacons_per_sec * cost_ns / 1e9
+}
+
+fn bw_fraction(interval_ns: f64, link_bps: f64) -> f64 {
+    BEACON_BYTES * 8.0 * (1e9 / interval_ns) / link_bps * 100.0
+}
+
+/// Cross-check: count beacons a simulated switch actually sends per link
+/// per second at a 3 µs interval on an idle testbed.
+fn simulated_beacon_rate() -> f64 {
+    let mut c = Cluster::new(ClusterConfig::testbed(32));
+    let dur = 3_000_000u64;
+    c.run_for(dur);
+    // Count beacons that crossed host links: use total sim packet counts.
+    // Every beacon is one packet on one link; approximate per-link rate by
+    // sampling one host link's counter.
+    let host0 = c.topo.host_node(onepipe_types::ids::HostId(0));
+    // The host-facing downlink comes from the ToR's *down* half.
+    let tor_down = c.sim.in_neighbors(host0)[0];
+    let link = onepipe_types::ids::LinkId::new(tor_down, host0);
+    let count = c.sim.link(link).map(|l| l.tx_packets).unwrap_or(0);
+    count as f64 / (dur as f64 / 1e9)
+}
+
+fn main() {
+    println!("# Figure 13a: beacon CPU overhead (fraction of one core, 32-port switch)");
+    row(&["interval_us".into(), "AristaOS".into(), "AristaRaw".into(), "HostDPDK".into()]);
+    for &us in &[1.0f64, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0] {
+        let i = us * 1_000.0;
+        row(&[
+            format!("{us}"),
+            format!("{:.3}", cpu_fraction(i, COST_OS_NS)),
+            format!("{:.3}", cpu_fraction(i, COST_RAW_NS)),
+            format!("{:.4}", cpu_fraction(i, COST_DPDK_NS)),
+        ]);
+    }
+    println!("# paper: host core sustains 3 us interval; switch CPU (raw) sustains ~10 us");
+
+    println!("\n# Figure 13b: beacon traffic as % of link bandwidth");
+    row(&["interval_us".into(), "10Gbps".into(), "40Gbps".into(), "100Gbps".into()]);
+    for &us in &[1.0f64, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0] {
+        let i = us * 1_000.0;
+        row(&[
+            format!("{us}"),
+            format!("{:.3}", bw_fraction(i, 10e9)),
+            format!("{:.3}", bw_fraction(i, 40e9)),
+            format!("{:.4}", bw_fraction(i, 100e9)),
+        ]);
+    }
+    let measured = simulated_beacon_rate();
+    let analytic = 1e9 / 3_000.0;
+    println!(
+        "# cross-check: simulated idle ToR→host link carries {measured:.0} beacons/s \
+         (analytic {analytic:.0}/s at 3 us interval)"
+    );
+    println!("# paper: ~0.3% of a 100 Gbps link at 3 us interval");
+}

@@ -1,0 +1,19 @@
+//! §7.1: clock synchronization quality.
+//!
+//! Reproduces the testbed's PTP numbers: "an average clock skew of 0.3 µs
+//! (1.0 µs at 95% percentile)" with sync every 125 ms across 32 hosts.
+
+use onepipe_clock::{ClockFleet, SkewStats, SyncDiscipline};
+use onepipe_types::time::MILLIS;
+
+fn main() {
+    let mut fleet = ClockFleet::new(32, SyncDiscipline::default(), 2021);
+    let instants: Vec<u64> = (1..=200).map(|k| k * 20 * MILLIS).collect();
+    let samples = fleet.skew_samples(&instants);
+    let stats = SkewStats::from_samples(&samples);
+    println!("# §7.1 clock skew across 32 hosts, PTP every 125 ms");
+    println!("samples:        {}", samples.len());
+    println!("mean skew:      {:.2} us   (paper: 0.3 us)", stats.mean_us());
+    println!("p95 skew:       {:.2} us   (paper: 1.0 us)", stats.p95_us());
+    println!("max skew:       {:.2} us", stats.max / 1_000.0);
+}

@@ -1,0 +1,28 @@
+//! The highly-available network controller of reliable 1Pipe (§5.2).
+//!
+//! The paper relies on an SDN-style controller that is "replicated using
+//! Paxos or Raft, so it is highly available, and only one controller is
+//! active at any time", storing its state in etcd. This crate provides
+//! both halves:
+//!
+//! * [`raft`] — a compact Raft implementation (leader election, log
+//!   replication, commitment) used to replicate controller decisions;
+//! * [`protocol`] — the failure-recovery state machine that executes the
+//!   paper's Detect → Determine → Broadcast → Discard/Recall → Callback →
+//!   Resume sequence (Figure 7), plus the message-forwarding fallback and
+//!   receiver-recovery records.
+//!
+//! Both are sans-io: they consume messages/ticks and emit actions, which a
+//! harness (the simulator, or a real management network) delivers.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod raft;
+pub mod replicated;
+
+pub use protocol::{
+    ComponentId, ControllerCore, CtrlAction, CtrlEvent, FailureDomains, PendingFailure,
+};
+pub use raft::{RaftConfig, RaftMsg, RaftNode, RaftRole};
+pub use replicated::ReplicatedController;

@@ -1,0 +1,676 @@
+//! The failure-recovery protocol (paper §5.2, Figure 7).
+//!
+//! The controller consumes **events** (Detect reports from switches and
+//! hosts, callback completions from processes, recovery requests) and
+//! produces **actions** (failure announcements, resume commands, recovery
+//! information). Determinism: events are applied in the order they commit
+//! to the replicated log, and all timing decisions use the timestamps
+//! carried in events plus the controller's tick time.
+//!
+//! Failure model implemented (matching the paper's evaluation):
+//! * host / NIC / host-link failure → all processes on the host fail;
+//! * ToR switch failure (single-homed racks) → every process in the rack
+//!   fails;
+//! * core or spine link/switch failure → connectivity survives, **no
+//!   process fails**, and the controller only needs to issue Resume so the
+//!   commit barrier stops waiting on the dead component.
+//!
+//! The *failure timestamp* of a component is the maximum last-commit
+//! barrier reported by its live neighbors within the collection window —
+//! the paper's cut rule specialised to tree topologies, where the
+//! reporting neighbors always form a cut between the failed component and
+//! every correct receiver.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use onepipe_types::ids::{NodeId, ProcessId};
+use onepipe_types::time::Timestamp;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifies a physical failure domain (a host, a physical switch, ...).
+pub type ComponentId = u32;
+
+/// Static description of failure domains, provided by the deployment
+/// harness (built from the routing topology).
+#[derive(Clone, Debug, Default)]
+pub struct FailureDomains {
+    /// Which component each logical node belongs to.
+    pub component_of: HashMap<NodeId, ComponentId>,
+    /// The processes that die when a component dies (empty for fabric
+    /// components whose loss does not disconnect any host).
+    pub killed_procs: HashMap<ComponentId, Vec<ProcessId>>,
+    /// Logical nodes making up each component (for Resume commands).
+    pub nodes_of: HashMap<ComponentId, Vec<NodeId>>,
+}
+
+impl FailureDomains {
+    /// Register a component with its nodes and the processes it kills.
+    pub fn add_component(
+        &mut self,
+        id: ComponentId,
+        nodes: Vec<NodeId>,
+        killed: Vec<ProcessId>,
+    ) {
+        for &n in &nodes {
+            self.component_of.insert(n, id);
+        }
+        self.killed_procs.insert(id, killed);
+        self.nodes_of.insert(id, nodes);
+    }
+}
+
+/// Events consumed by the controller (these are what gets written to the
+/// replicated log).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlEvent {
+    /// A neighbor reported a dead node (Detect step). `last_commit` is the
+    /// highest commit barrier the reporter observed from the dead node.
+    Detect {
+        /// Reporting node.
+        reporter: NodeId,
+        /// The silent node.
+        dead: NodeId,
+        /// Last commit barrier heard from it.
+        last_commit: Timestamp,
+        /// Report time.
+        at: u64,
+    },
+    /// A process finished its failure callback (and any Recall work) for
+    /// announcement `announce_id`.
+    CallbackComplete {
+        /// The announcement being acknowledged.
+        announce_id: u64,
+        /// The acknowledging process.
+        from: ProcessId,
+    },
+    /// A sender could not deliver a Recall to a receiver; recorded so the
+    /// receiver can discard consistently if it ever recovers (§5.2).
+    UndeliverableRecall {
+        /// The unreachable receiver.
+        to: ProcessId,
+        /// Scattering timestamp.
+        ts: Timestamp,
+        /// Scattering sequence number within its sender.
+        seq: u64,
+        /// The sender of the recalled scattering.
+        sender: ProcessId,
+    },
+    /// A recovered process asks for the failure history it missed.
+    RecoveryRequest {
+        /// The recovering process.
+        proc: ProcessId,
+    },
+    /// The leader's decision to close a Determine window and broadcast the
+    /// failure. Putting the decision itself in the replicated log keeps
+    /// every replica's state machine identical (followers never run the
+    /// leader's timers).
+    AnnounceDecision {
+        /// The component whose failure is being announced.
+        component: ComponentId,
+    },
+}
+
+/// Actions for the harness / management network to carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlAction {
+    /// Broadcast step: tell a correct process about failed processes and
+    /// their failure timestamps.
+    Announce {
+        /// Announcement id (to be echoed in `CallbackComplete`).
+        id: u64,
+        /// Recipient.
+        to: ProcessId,
+        /// Failed processes with their failure timestamps.
+        failures: Vec<(ProcessId, Timestamp)>,
+    },
+    /// Resume step: switches neighboring `dead_node` remove it from their
+    /// commit-barrier aggregation.
+    Resume {
+        /// The node whose input links should be dropped.
+        dead_node: NodeId,
+    },
+    /// Reply to a `RecoveryRequest`.
+    RecoveryInfo {
+        /// The recovering process.
+        to: ProcessId,
+        /// All failure announcements so far (process, failure timestamp).
+        failures: Vec<(ProcessId, Timestamp)>,
+        /// Recalled scatterings addressed to `to` that could not be
+        /// delivered: (sender, ts, seq).
+        recalls: Vec<(ProcessId, Timestamp, u64)>,
+    },
+}
+
+/// A failure being processed (between Detect and Resume).
+#[derive(Clone, Debug)]
+pub struct PendingFailure {
+    /// The failed component.
+    pub component: ComponentId,
+    /// Max last-commit over reports so far — the failure timestamp.
+    pub failure_ts: Timestamp,
+    /// When the first report arrived (starts the collection window).
+    pub first_report_at: u64,
+    /// Announcement id, once broadcast.
+    pub announce_id: Option<u64>,
+    /// Whether the leader has already proposed the announce decision
+    /// (avoids duplicate log entries; reset implicitly on leader change).
+    pub decision_proposed: bool,
+    /// Processes that have completed their callbacks.
+    pub completed: BTreeSet<ProcessId>,
+    /// Processes whose completion we are waiting for.
+    pub expected: BTreeSet<ProcessId>,
+}
+
+/// The controller state machine (runs on the Raft leader).
+pub struct ControllerCore {
+    domains: FailureDomains,
+    /// Determine-step collection window (ns).
+    pub determine_window: u64,
+    correct: BTreeSet<ProcessId>,
+    failed: BTreeMap<ProcessId, Timestamp>,
+    pending: BTreeMap<ComponentId, PendingFailure>,
+    next_announce_id: u64,
+    /// Undeliverable recalls per receiver: (sender, ts, seq).
+    recall_records: BTreeMap<ProcessId, Vec<(ProcessId, Timestamp, u64)>>,
+}
+
+impl ControllerCore {
+    /// Create the controller over the given domains and process set.
+    pub fn new(domains: FailureDomains, all_procs: impl IntoIterator<Item = ProcessId>) -> Self {
+        ControllerCore {
+            domains,
+            determine_window: 10_000, // 10 µs: a few beacon timeouts
+            correct: all_procs.into_iter().collect(),
+            failed: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_announce_id: 1,
+            recall_records: BTreeMap::new(),
+        }
+    }
+
+    /// Processes currently believed correct.
+    pub fn correct_processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.correct.iter().copied()
+    }
+
+    /// All failures announced so far.
+    pub fn failures(&self) -> impl Iterator<Item = (ProcessId, Timestamp)> + '_ {
+        self.failed.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// Whether a failure is still being processed.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Apply one committed event at controller time `now`; returns actions.
+    pub fn apply(&mut self, ev: CtrlEvent, now: u64) -> Vec<CtrlAction> {
+        match ev {
+            CtrlEvent::Detect { dead, last_commit, at, .. } => {
+                let Some(&comp) = self.domains.component_of.get(&dead) else {
+                    return Vec::new();
+                };
+                let entry = self.pending.entry(comp).or_insert_with(|| PendingFailure {
+                    component: comp,
+                    failure_ts: Timestamp::ZERO,
+                    first_report_at: at,
+                    announce_id: None,
+                    decision_proposed: false,
+                    completed: BTreeSet::new(),
+                    expected: BTreeSet::new(),
+                });
+                if entry.announce_id.is_none() {
+                    entry.failure_ts = entry.failure_ts.max(last_commit);
+                }
+                self.tick(now)
+            }
+            CtrlEvent::AnnounceDecision { component } => {
+                let mut actions = self.announce_component(component);
+                actions.extend(self.finish_ready());
+                actions
+            }
+            CtrlEvent::CallbackComplete { announce_id, from } => {
+                for p in self.pending.values_mut() {
+                    if p.announce_id == Some(announce_id) {
+                        p.completed.insert(from);
+                    }
+                }
+                self.finish_ready()
+            }
+            CtrlEvent::UndeliverableRecall { to, ts, seq, sender } => {
+                self.recall_records.entry(to).or_default().push((sender, ts, seq));
+                Vec::new()
+            }
+            CtrlEvent::RecoveryRequest { proc } => {
+                vec![CtrlAction::RecoveryInfo {
+                    to: proc,
+                    failures: self.failed.iter().map(|(&p, &t)| (p, t)).collect(),
+                    recalls: self.recall_records.get(&proc).cloned().unwrap_or_default(),
+                }]
+            }
+        }
+    }
+
+    /// Components whose Determine window expired and whose announce
+    /// decision has not yet been proposed. A replicated deployment puts an
+    /// [`CtrlEvent::AnnounceDecision`] in the log for each; a standalone
+    /// deployment lets [`tick`](Self::tick) apply them directly.
+    pub fn expired_windows(&self, now: u64) -> Vec<ComponentId> {
+        self.pending
+            .iter()
+            .filter(|(_, p)| {
+                p.announce_id.is_none()
+                    && !p.decision_proposed
+                    && now >= p.first_report_at + self.determine_window
+            })
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Mark a component's announce decision as proposed (leader-side
+    /// bookkeeping between proposal and commitment).
+    pub fn mark_decision_proposed(&mut self, comp: ComponentId) {
+        if let Some(p) = self.pending.get_mut(&comp) {
+            p.decision_proposed = true;
+        }
+    }
+
+    /// Close the Determine window of `comp`: record failures and emit the
+    /// Broadcast actions. Idempotent — re-applying a committed decision
+    /// (possible across leader changes) is a no-op.
+    fn announce_component(&mut self, comp: ComponentId) -> Vec<CtrlAction> {
+        let mut actions = Vec::new();
+        let Some(p) = self.pending.get(&comp) else {
+            return actions;
+        };
+        if p.announce_id.is_some() {
+            return actions;
+        }
+        let killed: Vec<ProcessId> = self
+            .domains
+            .killed_procs
+            .get(&comp)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|p| self.correct.contains(p))
+            .collect();
+        let p = self.pending.get_mut(&comp).unwrap();
+        let failure_ts = p.failure_ts;
+        if killed.is_empty() {
+            // Fabric failure: nobody dies, no callbacks needed; go
+            // straight to Resume (paper §7.2, "Failure recovery").
+            p.announce_id = Some(0);
+            p.expected.clear();
+        } else {
+            let id = self.next_announce_id;
+            self.next_announce_id += 1;
+            p.announce_id = Some(id);
+            for k in &killed {
+                self.correct.remove(k);
+                self.failed.insert(*k, failure_ts);
+            }
+            p.expected = self.correct.iter().copied().collect();
+            let failures: Vec<(ProcessId, Timestamp)> =
+                killed.iter().map(|&k| (k, failure_ts)).collect();
+            for &proc in &self.correct {
+                actions.push(CtrlAction::Announce { id, to: proc, failures: failures.clone() });
+            }
+        }
+        // A process that has just failed can never complete callbacks for
+        // earlier failures; drop it from every pending expectation.
+        let correct = self.correct.clone();
+        for pending in self.pending.values_mut() {
+            pending.expected.retain(|x| correct.contains(x));
+        }
+        actions
+    }
+
+    /// Advance the controller clock (standalone deployment): close expired
+    /// Determine windows directly and emit Broadcast / Resume actions.
+    pub fn tick(&mut self, now: u64) -> Vec<CtrlAction> {
+        let mut actions = Vec::new();
+        for comp in self.expired_windows(now) {
+            actions.extend(self.announce_component(comp));
+        }
+        actions.extend(self.finish_ready());
+        actions
+    }
+
+    /// Emit Resume for every pending failure whose callbacks are all in.
+    fn finish_ready(&mut self) -> Vec<CtrlAction> {
+        let mut actions = Vec::new();
+        let ready: Vec<ComponentId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                p.announce_id.is_some() && p.expected.is_subset(&p.completed)
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        for comp in ready {
+            let p = self.pending.remove(&comp).unwrap();
+            for node in self.domains.nodes_of.get(&p.component).cloned().unwrap_or_default()
+            {
+                actions.push(CtrlAction::Resume { dead_node: node });
+            }
+        }
+        actions
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec for CtrlEvent (used as the Raft log entry payload).
+// ---------------------------------------------------------------------------
+
+impl CtrlEvent {
+    /// Serialize to bytes for the replicated log.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            CtrlEvent::Detect { reporter, dead, last_commit, at } => {
+                b.put_u8(0);
+                b.put_u32(reporter.0);
+                b.put_u32(dead.0);
+                b.put_uint(last_commit.raw(), 6);
+                b.put_u64(*at);
+            }
+            CtrlEvent::CallbackComplete { announce_id, from } => {
+                b.put_u8(1);
+                b.put_u64(*announce_id);
+                b.put_u32(from.0);
+            }
+            CtrlEvent::UndeliverableRecall { to, ts, seq, sender } => {
+                b.put_u8(2);
+                b.put_u32(to.0);
+                b.put_uint(ts.raw(), 6);
+                b.put_u64(*seq);
+                b.put_u32(sender.0);
+            }
+            CtrlEvent::RecoveryRequest { proc } => {
+                b.put_u8(3);
+                b.put_u32(proc.0);
+            }
+            CtrlEvent::AnnounceDecision { component } => {
+                b.put_u8(4);
+                b.put_u32(*component);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode from bytes written by [`encode`](Self::encode).
+    pub fn decode(mut buf: Bytes) -> onepipe_types::Result<Self> {
+        use onepipe_types::Error;
+        if buf.remaining() < 1 {
+            return Err(Error::Truncated { needed: 1, got: 0 });
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize| -> onepipe_types::Result<()> {
+            if buf.remaining() < n {
+                Err(Error::Truncated { needed: n, got: buf.remaining() })
+            } else {
+                Ok(())
+            }
+        };
+        Ok(match tag {
+            0 => {
+                need(&buf, 4 + 4 + 6 + 8)?;
+                CtrlEvent::Detect {
+                    reporter: NodeId(buf.get_u32()),
+                    dead: NodeId(buf.get_u32()),
+                    last_commit: Timestamp::from_raw(buf.get_uint(6)),
+                    at: buf.get_u64(),
+                }
+            }
+            1 => {
+                need(&buf, 8 + 4)?;
+                CtrlEvent::CallbackComplete {
+                    announce_id: buf.get_u64(),
+                    from: ProcessId(buf.get_u32()),
+                }
+            }
+            2 => {
+                need(&buf, 4 + 6 + 8 + 4)?;
+                CtrlEvent::UndeliverableRecall {
+                    to: ProcessId(buf.get_u32()),
+                    ts: Timestamp::from_raw(buf.get_uint(6)),
+                    seq: buf.get_u64(),
+                    sender: ProcessId(buf.get_u32()),
+                }
+            }
+            3 => {
+                need(&buf, 4)?;
+                CtrlEvent::RecoveryRequest { proc: ProcessId(buf.get_u32()) }
+            }
+            4 => {
+                need(&buf, 4)?;
+                CtrlEvent::AnnounceDecision { component: buf.get_u32() }
+            }
+            other => return Err(Error::BadOpcode(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::from_nanos(v)
+    }
+
+    /// 2 hosts (nodes 0,1) with procs 0,1 — plus a fabric node 10.
+    fn domains() -> FailureDomains {
+        let mut d = FailureDomains::default();
+        d.add_component(0, vec![NodeId(0)], vec![ProcessId(0)]);
+        d.add_component(1, vec![NodeId(1)], vec![ProcessId(1)]);
+        d.add_component(2, vec![NodeId(10)], vec![]); // core switch
+        d
+    }
+
+    fn core() -> ControllerCore {
+        ControllerCore::new(domains(), [ProcessId(0), ProcessId(1), ProcessId(2)])
+    }
+
+    #[test]
+    fn host_failure_full_sequence() {
+        let mut c = core();
+        // Detect at t=0; window is 10 µs.
+        let a = c.apply(
+            CtrlEvent::Detect {
+                reporter: NodeId(5),
+                dead: NodeId(0),
+                last_commit: ts(100),
+                at: 0,
+            },
+            0,
+        );
+        assert!(a.is_empty(), "must wait out the determine window");
+        // A second report raises the failure timestamp.
+        c.apply(
+            CtrlEvent::Detect {
+                reporter: NodeId(6),
+                dead: NodeId(0),
+                last_commit: ts(150),
+                at: 1_000,
+            },
+            1_000,
+        );
+        // Window closes: announce to the two correct processes.
+        let a = c.tick(10_000);
+        let announces: Vec<_> = a
+            .iter()
+            .filter_map(|x| match x {
+                CtrlAction::Announce { id, to, failures } => Some((*id, *to, failures.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(announces.len(), 2);
+        for (_, _, fails) in &announces {
+            assert_eq!(fails, &vec![(ProcessId(0), ts(150))]);
+        }
+        let id = announces[0].0;
+        // One completion: not yet resumed.
+        let a = c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(1) }, 11_000);
+        assert!(a.is_empty());
+        // Second completion: Resume fires for the host's node.
+        let a = c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) }, 12_000);
+        assert_eq!(a, vec![CtrlAction::Resume { dead_node: NodeId(0) }]);
+        assert!(!c.has_pending());
+        assert_eq!(c.failures().collect::<Vec<_>>(), vec![(ProcessId(0), ts(150))]);
+    }
+
+    #[test]
+    fn fabric_failure_resumes_without_announcement() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect {
+                reporter: NodeId(5),
+                dead: NodeId(10),
+                last_commit: ts(42),
+                at: 0,
+            },
+            0,
+        );
+        let a = c.tick(10_000);
+        assert_eq!(a, vec![CtrlAction::Resume { dead_node: NodeId(10) }]);
+        // Nobody failed.
+        assert_eq!(c.failures().count(), 0);
+        assert_eq!(c.correct_processes().count(), 3);
+    }
+
+    #[test]
+    fn unknown_node_ignored() {
+        let mut c = core();
+        let a = c.apply(
+            CtrlEvent::Detect {
+                reporter: NodeId(5),
+                dead: NodeId(99),
+                last_commit: ts(1),
+                at: 0,
+            },
+            0,
+        );
+        assert!(a.is_empty());
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn late_reports_do_not_raise_announced_failure_ts() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(100), at: 0 },
+            0,
+        );
+        c.tick(10_000); // announced with ts=100
+        c.apply(
+            CtrlEvent::Detect {
+                reporter: NodeId(7),
+                dead: NodeId(0),
+                last_commit: ts(999),
+                at: 20_000,
+            },
+            20_000,
+        );
+        assert_eq!(c.failures().collect::<Vec<_>>(), vec![(ProcessId(0), ts(100))]);
+    }
+
+    #[test]
+    fn recovery_request_returns_history_and_recalls() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(77), at: 0 },
+            0,
+        );
+        c.tick(10_000);
+        c.apply(
+            CtrlEvent::UndeliverableRecall {
+                to: ProcessId(0),
+                ts: ts(500),
+                seq: 3,
+                sender: ProcessId(1),
+            },
+            11_000,
+        );
+        let a = c.apply(CtrlEvent::RecoveryRequest { proc: ProcessId(0) }, 12_000);
+        assert_eq!(
+            a,
+            vec![CtrlAction::RecoveryInfo {
+                to: ProcessId(0),
+                failures: vec![(ProcessId(0), ts(77))],
+                recalls: vec![(ProcessId(1), ts(500), 3)],
+            }]
+        );
+    }
+
+    #[test]
+    fn double_failure_handled_independently() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(10), at: 0 },
+            0,
+        );
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(1), last_commit: ts(20), at: 0 },
+            0,
+        );
+        let a = c.tick(10_000);
+        // Component 0 announces to {p1, p2} (p1 not yet processed), then
+        // component 1 announces to {p2}: three announcements total, and the
+        // now-failed p1 is dropped from every pending expectation so the
+        // protocol cannot deadlock waiting for a dead process.
+        let announce_count =
+            a.iter().filter(|x| matches!(x, CtrlAction::Announce { .. })).count();
+        assert_eq!(announce_count, 3);
+        assert_eq!(c.correct_processes().collect::<Vec<_>>(), vec![ProcessId(2)]);
+        // p2's completions alone must now finish both failures.
+        let mut resumes = Vec::new();
+        for id in [1u64, 2u64] {
+            resumes.extend(c.apply(
+                CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) },
+                20_000,
+            ));
+        }
+        assert_eq!(
+            resumes
+                .iter()
+                .filter(|a| matches!(a, CtrlAction::Resume { .. }))
+                .count(),
+            2
+        );
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn event_codec_roundtrip() {
+        let events = vec![
+            CtrlEvent::Detect {
+                reporter: NodeId(1),
+                dead: NodeId(2),
+                last_commit: ts(123_456),
+                at: 789,
+            },
+            CtrlEvent::CallbackComplete { announce_id: 9, from: ProcessId(3) },
+            CtrlEvent::UndeliverableRecall {
+                to: ProcessId(4),
+                ts: ts(55),
+                seq: 6,
+                sender: ProcessId(7),
+            },
+            CtrlEvent::RecoveryRequest { proc: ProcessId(8) },
+            CtrlEvent::AnnounceDecision { component: 11 },
+        ];
+        for ev in events {
+            let encoded = ev.encode();
+            let decoded = CtrlEvent::decode(encoded).unwrap();
+            assert_eq!(decoded, ev);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(CtrlEvent::decode(Bytes::new()).is_err());
+        assert!(CtrlEvent::decode(Bytes::from_static(&[9, 0, 0])).is_err());
+        assert!(CtrlEvent::decode(Bytes::from_static(&[0, 1])).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Glue between the Raft log and the controller state machine: a
+//! replicated, highly-available controller of which exactly one replica
+//! (the Raft leader) is active at a time — the deployment shape the paper
+//! assumes (§5.2, §6.1).
+
+use crate::protocol::{ControllerCore, CtrlAction, CtrlEvent, FailureDomains};
+use crate::raft::{RaftConfig, RaftMsg, RaftNode};
+use onepipe_types::ids::ProcessId;
+
+/// One replica of the replicated controller service.
+///
+/// Events are proposed into the Raft log; every replica applies committed
+/// events to its [`ControllerCore`] (so any replica can take over with the
+/// full state), but only the leader's actions are emitted.
+pub struct ReplicatedController {
+    raft: RaftNode,
+    core: ControllerCore,
+}
+
+impl ReplicatedController {
+    /// Create replica `id` among `peers`.
+    pub fn new(
+        id: u32,
+        peers: Vec<u32>,
+        cfg: RaftConfig,
+        domains: FailureDomains,
+        procs: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        ReplicatedController {
+            raft: RaftNode::new(id, peers, cfg),
+            core: ControllerCore::new(domains, procs),
+        }
+    }
+
+    /// Whether this replica is the active controller.
+    pub fn is_leader(&self) -> bool {
+        self.raft.is_leader()
+    }
+
+    /// Replica id.
+    pub fn id(&self) -> u32 {
+        self.raft.id()
+    }
+
+    /// Read access to the underlying state machine.
+    pub fn core(&self) -> &ControllerCore {
+        &self.core
+    }
+
+    /// Submit an event. Returns `false` when this replica is not the
+    /// leader (the caller should retry against the current leader).
+    pub fn submit(&mut self, ev: CtrlEvent) -> bool {
+        if !self.raft.is_leader() {
+            return false;
+        }
+        self.raft.propose(ev.encode().to_vec())
+    }
+
+    /// Advance time: Raft housekeeping plus controller window expiry.
+    /// Returns `(raft messages to deliver, controller actions)`.
+    ///
+    /// Unlike the standalone controller, window expiry does not announce
+    /// directly: the leader proposes an [`CtrlEvent::AnnounceDecision`]
+    /// into the log, and the announcement happens when it commits — so
+    /// every replica applies identical state transitions.
+    pub fn tick(&mut self, now: u64) -> (Vec<(u32, RaftMsg)>, Vec<CtrlAction>) {
+        let msgs = self.raft.tick(now);
+        let mut actions = self.drain_committed(now);
+        if self.raft.is_leader() {
+            for comp in self.core.expired_windows(now) {
+                if self.raft.propose(CtrlEvent::AnnounceDecision { component: comp }
+                    .encode()
+                    .to_vec())
+                {
+                    self.core.mark_decision_proposed(comp);
+                }
+            }
+            // Single-replica clusters commit instantly.
+            actions.extend(self.drain_committed(now));
+        }
+        (msgs, actions)
+    }
+
+    /// Handle a Raft message from a peer replica.
+    pub fn on_raft_msg(
+        &mut self,
+        from: u32,
+        msg: RaftMsg,
+        now: u64,
+    ) -> (Vec<(u32, RaftMsg)>, Vec<CtrlAction>) {
+        let msgs = self.raft.on_message(from, msg, now);
+        let actions = self.drain_committed(now);
+        (msgs, actions)
+    }
+
+    fn drain_committed(&mut self, now: u64) -> Vec<CtrlAction> {
+        let mut actions = Vec::new();
+        let leader = self.raft.is_leader();
+        for entry in self.raft.take_committed() {
+            if let Ok(ev) = CtrlEvent::decode(entry.data.into()) {
+                let a = self.core.apply(ev, now);
+                if leader {
+                    actions.extend(a);
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepipe_types::ids::NodeId;
+    use onepipe_types::time::Timestamp;
+    use std::collections::VecDeque;
+
+    fn domains() -> FailureDomains {
+        let mut d = FailureDomains::default();
+        d.add_component(0, vec![NodeId(0)], vec![ProcessId(0)]);
+        d
+    }
+
+    struct Cluster {
+        replicas: Vec<ReplicatedController>,
+        inflight: VecDeque<(u32, u32, RaftMsg)>,
+        now: u64,
+    }
+
+    impl Cluster {
+        fn new(n: u32) -> Self {
+            let cfg = RaftConfig { election_timeout: 1_000, heartbeat_interval: 200 };
+            let replicas = (0..n)
+                .map(|i| {
+                    let peers = (0..n).filter(|&p| p != i).collect();
+                    ReplicatedController::new(
+                        i,
+                        peers,
+                        cfg,
+                        domains(),
+                        [ProcessId(0), ProcessId(1), ProcessId(2)],
+                    )
+                })
+                .collect();
+            Cluster { replicas, inflight: VecDeque::new(), now: 0 }
+        }
+
+        fn run(&mut self, dt: u64) -> Vec<CtrlAction> {
+            let mut actions = Vec::new();
+            let end = self.now + dt;
+            while self.now < end {
+                self.now += 100;
+                for i in 0..self.replicas.len() {
+                    let (msgs, acts) = self.replicas[i].tick(self.now);
+                    for (to, m) in msgs {
+                        self.inflight.push_back((i as u32, to, m));
+                    }
+                    actions.extend(acts);
+                }
+                while let Some((from, to, m)) = self.inflight.pop_front() {
+                    let (msgs, acts) =
+                        self.replicas[to as usize].on_raft_msg(from, m, self.now);
+                    for (t2, m2) in msgs {
+                        self.inflight.push_back((to, t2, m2));
+                    }
+                    actions.extend(acts);
+                }
+            }
+            actions
+        }
+
+        fn leader(&self) -> usize {
+            self.replicas.iter().position(|r| r.is_leader()).unwrap()
+        }
+    }
+
+    #[test]
+    fn replicated_failure_handling_end_to_end() {
+        let mut c = Cluster::new(3);
+        c.run(10_000);
+        let leader = c.leader();
+        assert!(c.replicas[leader].submit(CtrlEvent::Detect {
+            reporter: NodeId(5),
+            dead: NodeId(0),
+            last_commit: Timestamp::from_nanos(42),
+            at: c.now,
+        }));
+        let actions = c.run(60_000);
+        // The leader announced to the two correct processes.
+        let announces: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, CtrlAction::Announce { .. }))
+            .collect();
+        assert_eq!(announces.len(), 2);
+        // Every replica applied the committed event.
+        for r in &c.replicas {
+            assert_eq!(
+                r.core().failures().collect::<Vec<_>>(),
+                vec![(ProcessId(0), Timestamp::from_nanos(42))]
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_matches_standalone_state_machine() {
+        // The same committed event sequence must produce the same state
+        // whether applied directly to a ControllerCore or through a
+        // single-replica ReplicatedController.
+        let events = vec![
+            CtrlEvent::Detect {
+                reporter: NodeId(5),
+                dead: NodeId(0),
+                last_commit: Timestamp::from_nanos(42),
+                at: 0,
+            },
+            CtrlEvent::UndeliverableRecall {
+                to: ProcessId(0),
+                ts: Timestamp::from_nanos(99),
+                seq: 4,
+                sender: ProcessId(1),
+            },
+        ];
+        // Standalone.
+        let mut core = ControllerCore::new(domains(), [ProcessId(0), ProcessId(1), ProcessId(2)]);
+        for ev in &events {
+            core.apply(ev.clone(), 0);
+        }
+        core.tick(20_000);
+        // Replicated, single node (instant commit).
+        let mut rep = ReplicatedController::new(
+            0,
+            vec![],
+            RaftConfig { election_timeout: 1_000, heartbeat_interval: 200 },
+            domains(),
+            [ProcessId(0), ProcessId(1), ProcessId(2)],
+        );
+        rep.tick(5_000); // elect itself
+        assert!(rep.is_leader());
+        for ev in &events {
+            assert!(rep.submit(ev.clone()));
+        }
+        rep.tick(30_000);
+        assert_eq!(
+            core.failures().collect::<Vec<_>>(),
+            rep.core().failures().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            core.correct_processes().collect::<Vec<_>>(),
+            rep.core().correct_processes().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn follower_rejects_submission() {
+        let mut c = Cluster::new(3);
+        c.run(10_000);
+        let leader = c.leader();
+        let follower = (0..3).find(|&i| i != leader).unwrap();
+        assert!(!c.replicas[follower].submit(CtrlEvent::RecoveryRequest {
+            proc: ProcessId(1)
+        }));
+    }
+}

@@ -1,0 +1,709 @@
+//! Full-cluster simulation harness: topology + switches + hosts +
+//! controller, assembled and pumped together.
+//!
+//! [`Cluster`] is what experiments, examples and integration tests build
+//! on. It wires:
+//!
+//! * the fat-tree topology and switch barrier logic (data plane),
+//! * one [`HostLogic`] per server with its endpoints and synchronized
+//!   clock,
+//! * the controller (§5.2) connected over a modelled management network
+//!   with a configurable one-way delay,
+//!
+//! and interleaves simulator events with management-plane deliveries in
+//! deterministic time order.
+
+use crate::config::EndpointConfig;
+use crate::endpoint::Endpoint;
+use crate::events::CtrlRequest;
+use crate::simhost::{AppHook, DeliveryRecord, HostLogic};
+use onepipe_clock::{ClockFleet, SyncDiscipline};
+use onepipe_controller::protocol::{ControllerCore, CtrlAction, CtrlEvent, FailureDomains};
+use onepipe_netsim::engine::Sim;
+use onepipe_netsim::topology::{FatTreeParams, NodeRole, Topology};
+use onepipe_netsim::traffic::BackgroundTraffic;
+use onepipe_switchlogic::switch::{
+    Incarnation, SwitchConfig, SwitchEvent, SwitchLogic, SwitchShared,
+};
+use onepipe_types::ids::{HostId, LinkId, NodeId, ProcessId};
+use onepipe_types::message::Message;
+use onepipe_types::process_map::ProcessMap;
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::Datagram;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Cluster-level configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Topology parameters.
+    pub topo: FatTreeParams,
+    /// Total number of processes, placed round-robin over hosts.
+    pub processes: usize,
+    /// Switch configuration (incarnation, beacon interval, ...).
+    pub switch: SwitchConfig,
+    /// Endpoint configuration. `trust_data_barriers` is overridden to
+    /// match the switch incarnation.
+    pub endpoint: EndpointConfig,
+    /// Use perfect clocks instead of the PTP model.
+    pub perfect_clocks: bool,
+    /// PTP discipline when clocks are imperfect.
+    pub sync: SyncDiscipline,
+    /// Master seed.
+    pub seed: u64,
+    /// One-way management-network delay (controller ↔ host), ns.
+    pub mgmt_delay: u64,
+    /// Controller send serialization per management message, ns — the
+    /// paper reports recovery cost growing 3–15 µs per host because the
+    /// controller "needs to contact all processes in the system" (§7.2).
+    pub mgmt_serialize: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's 32-server testbed with `processes` processes.
+    pub fn testbed(processes: usize) -> Self {
+        ClusterConfig {
+            topo: FatTreeParams::testbed(),
+            processes,
+            switch: SwitchConfig::default(),
+            endpoint: EndpointConfig::default(),
+            perfect_clocks: false,
+            sync: SyncDiscipline::default(),
+            seed: 2021,
+            mgmt_delay: 5_000,
+            mgmt_serialize: 3_000,
+        }
+    }
+
+    /// A single rack of `hosts` servers with `processes` processes.
+    pub fn single_rack(hosts: u32, processes: usize) -> Self {
+        ClusterConfig { topo: FatTreeParams::single_rack(hosts), ..Self::testbed(processes) }
+    }
+}
+
+/// A management-network message in flight.
+#[derive(Debug)]
+enum MgmtMsg {
+    Announce {
+        to: ProcessId,
+        id: u64,
+        failures: Vec<(ProcessId, Timestamp)>,
+    },
+    Resume {
+        dead: NodeId,
+    },
+    Forward {
+        dgram: Datagram,
+    },
+}
+
+struct MgmtEntry {
+    at: u64,
+    seq: u64,
+    msg: MgmtMsg,
+}
+
+impl PartialEq for MgmtEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for MgmtEntry {}
+impl PartialOrd for MgmtEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MgmtEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The assembled simulated cluster.
+pub struct Cluster {
+    /// The discrete-event simulator.
+    pub sim: Sim,
+    /// The routing topology.
+    pub topo: Rc<Topology>,
+    /// Process placement.
+    pub procs: Rc<ProcessMap>,
+    /// All deliveries across the cluster, in delivery order.
+    pub deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
+    /// All user events raised across the cluster.
+    pub user_events: Rc<RefCell<Vec<(u64, ProcessId, crate::events::UserEvent)>>>,
+    switch_events: Rc<RefCell<Vec<SwitchEvent>>>,
+    ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
+    controller: ControllerCore,
+    mgmt: BinaryHeap<Reverse<MgmtEntry>>,
+    mgmt_seq: u64,
+    mgmt_delay: u64,
+    mgmt_serialize: u64,
+    delivery_cursor: usize,
+    /// The cluster configuration it was built with.
+    pub config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Build a cluster.
+    pub fn new(mut cfg: ClusterConfig) -> Self {
+        // Barrier trust must match the switch incarnation (§6.2.2).
+        cfg.endpoint.trust_data_barriers =
+            matches!(cfg.switch.incarnation, Incarnation::Chip);
+
+        let mut sim = Sim::new(cfg.seed);
+        let topo = Rc::new(Topology::build(&mut sim, cfg.topo.clone()));
+        let n_hosts = topo.num_hosts();
+        let procs = Rc::new(ProcessMap::place_round_robin(n_hosts, cfg.processes));
+
+        let switch_events = Rc::new(RefCell::new(Vec::new()));
+        let shared = SwitchShared {
+            topo: topo.clone(),
+            procs: procs.clone(),
+            events: switch_events.clone(),
+        };
+        for &s in &topo.switch_nodes {
+            sim.set_logic(s, Box::new(SwitchLogic::new(shared.clone(), cfg.switch)));
+        }
+
+        let mut clocks = if cfg.perfect_clocks {
+            ClockFleet::perfect(n_hosts)
+        } else {
+            ClockFleet::new(n_hosts, cfg.sync, cfg.seed ^ 0xC10C)
+        };
+
+        let deliveries = Rc::new(RefCell::new(Vec::new()));
+        let ctrl_outbox = Rc::new(RefCell::new(Vec::new()));
+        let user_events = Rc::new(RefCell::new(Vec::new()));
+        for h in 0..n_hosts {
+            let host = HostId(h as u32);
+            let endpoints: Vec<Endpoint> = procs
+                .processes_on(host)
+                .iter()
+                .map(|&p| {
+                    let mut ecfg = cfg.endpoint;
+                    ecfg.seed = cfg.seed;
+                    Endpoint::new(p, ecfg)
+                })
+                .collect();
+            let mut logic = HostLogic::new(
+                host,
+                topo.tor_up_of(host),
+                clocks.clock_mut(h).clone(),
+                endpoints,
+                cfg.switch.beacon_interval,
+                deliveries.clone(),
+                ctrl_outbox.clone(),
+                user_events.clone(),
+            );
+            logic.synchronized_beacons = cfg.switch.synchronized_beacons;
+            sim.set_logic(topo.host_node(host), Box::new(logic));
+        }
+
+        let domains = build_failure_domains(&topo, &procs);
+        let controller = ControllerCore::new(domains, procs.all());
+
+        Cluster {
+            sim,
+            topo,
+            procs,
+            deliveries,
+            user_events,
+            switch_events,
+            ctrl_outbox,
+            controller,
+            mgmt: BinaryHeap::new(),
+            mgmt_seq: 0,
+            mgmt_delay: cfg.mgmt_delay,
+            mgmt_serialize: cfg.mgmt_serialize,
+            delivery_cursor: 0,
+            config: cfg,
+        }
+    }
+
+    /// Attach a shared application hook to every host.
+    pub fn set_app(&mut self, app: Rc<RefCell<dyn AppHook>>) {
+        for h in 0..self.topo.num_hosts() {
+            let node = self.topo.host_node(HostId(h as u32));
+            let app = app.clone();
+            self.sim.with_node(node, move |logic, _| {
+                logic
+                    .as_any_mut()
+                    .unwrap()
+                    .downcast_mut::<HostLogic>()
+                    .unwrap()
+                    .set_app(app);
+            });
+        }
+    }
+
+    /// Attach background traffic to a host (Figure 12 experiments).
+    pub fn set_traffic(&mut self, host: HostId, traffic: BackgroundTraffic) {
+        let node = self.topo.host_node(host);
+        self.sim.with_node(node, move |logic, _| {
+            logic
+                .as_any_mut()
+                .unwrap()
+                .downcast_mut::<HostLogic>()
+                .unwrap()
+                .set_traffic(traffic);
+        });
+    }
+
+    /// Send a scattering from `from` at the current simulation time.
+    /// Returns the message timestamp assigned by the sender's clock.
+    pub fn send(
+        &mut self,
+        from: ProcessId,
+        msgs: Vec<Message>,
+        reliable: bool,
+    ) -> onepipe_types::Result<Timestamp> {
+        let host = self
+            .procs
+            .host_of(from)
+            .ok_or(onepipe_types::Error::UnknownProcess(from))?;
+        let node = self.topo.host_node(host);
+        self.sim
+            .with_node(node, |logic, ctx| {
+                logic
+                    .as_any_mut()
+                    .unwrap()
+                    .downcast_mut::<HostLogic>()
+                    .unwrap()
+                    .send_from(ctx, from, msgs, reliable)
+            })
+            .unwrap_or(Err(onepipe_types::Error::ProcessFailed(from)))
+    }
+
+    /// Run until simulation time `t_end`, pumping the control plane.
+    pub fn run_until(&mut self, t_end: u64) {
+        loop {
+            self.pump_control();
+            let sim_next = self.sim.peek_time();
+            let mgmt_next = self.mgmt.peek().map(|Reverse(e)| e.at);
+            let next = match (sim_next, mgmt_next) {
+                (None, None) => break,
+                (Some(s), None) => s,
+                (None, Some(m)) => m,
+                (Some(s), Some(m)) => s.min(m),
+            };
+            if next > t_end {
+                break;
+            }
+            if mgmt_next.map(|m| m <= next).unwrap_or(false) {
+                let Reverse(entry) = self.mgmt.pop().unwrap();
+                self.sim.run_until(entry.at);
+                self.apply_mgmt(entry.msg);
+            } else {
+                self.sim.step();
+            }
+        }
+        self.sim.run_until(t_end);
+        self.pump_control();
+    }
+
+    /// Run for `dt` more nanoseconds.
+    pub fn run_for(&mut self, dt: u64) {
+        self.run_until(self.sim.now() + dt);
+    }
+
+    /// Deliveries recorded since the last call.
+    pub fn take_deliveries(&mut self) -> Vec<DeliveryRecord> {
+        let all = self.deliveries.borrow();
+        let out = all[self.delivery_cursor..].to_vec();
+        drop(all);
+        self.delivery_cursor = self.deliveries.borrow().len();
+        out
+    }
+
+    /// Crash an entire host at absolute time `at`.
+    pub fn crash_host(&mut self, at: u64, host: HostId) {
+        self.sim.schedule_crash(at, self.topo.host_node(host));
+    }
+
+    /// Crash a physical ToR switch (both logical halves).
+    pub fn crash_tor(&mut self, at: u64, pod: u32, idx: u32) {
+        for (i, role) in self.topo.roles.iter().enumerate() {
+            match *role {
+                NodeRole::TorUp { pod: p, idx: i2 } | NodeRole::TorDown { pod: p, idx: i2 }
+                    if p == pod && i2 == idx =>
+                {
+                    self.sim.schedule_crash(at, NodeId(i as u32));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Crash a physical core switch.
+    pub fn crash_core(&mut self, at: u64, idx: u32) {
+        for (i, role) in self.topo.roles.iter().enumerate() {
+            if matches!(*role, NodeRole::Core { idx: i2 } if i2 == idx) {
+                self.sim.schedule_crash(at, NodeId(i as u32));
+            }
+        }
+    }
+
+    /// Take a host's access link down — or back up — in both directions.
+    pub fn set_host_link(&mut self, at: u64, host: HostId, up: bool) {
+        let hn = self.topo.host_node(host);
+        let tor_up = self.topo.tor_up_of(host);
+        let tor_down = self.sim.in_neighbors(hn).first().copied().expect("host has a downlink");
+        self.sim.schedule_link_admin(at, LinkId::new(hn, tor_up), up);
+        self.sim.schedule_link_admin(at, LinkId::new(tor_down, hn), up);
+    }
+
+    /// Take a core-adjacent fabric link down (both directions).
+    pub fn fail_core_link(&mut self, at: u64, core_idx: u32) {
+        let core = self
+            .topo
+            .roles
+            .iter()
+            .position(|r| matches!(*r, NodeRole::Core { idx } if idx == core_idx))
+            .map(|i| NodeId(i as u32))
+            .expect("core exists");
+        // First inbound spine link.
+        let spine = self.sim.in_neighbors(core).first().copied().expect("core has inputs");
+        self.sim.schedule_link_admin(at, LinkId::new(spine, core), false);
+        self.sim.schedule_link_admin(at, LinkId::new(core, spine), false);
+    }
+
+    /// Access a host's logic (downcast helper).
+    pub fn with_host<R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut HostLogic, &mut onepipe_netsim::engine::Ctx<'_>) -> R,
+    ) -> Option<R> {
+        let node = self.topo.host_node(host);
+        self.sim.with_node(node, |logic, ctx| {
+            f(logic.as_any_mut().unwrap().downcast_mut::<HostLogic>().unwrap(), ctx)
+        })
+    }
+
+    /// The controller's view of failed processes.
+    pub fn failed_processes(&self) -> Vec<(ProcessId, Timestamp)> {
+        self.controller.failures().collect()
+    }
+
+    /// Aggregate endpoint statistics across all (live) hosts.
+    pub fn total_stats(&mut self) -> crate::endpoint::EndpointStats {
+        let mut total = crate::endpoint::EndpointStats::default();
+        for h in 0..self.topo.num_hosts() {
+            let host = HostId(h as u32);
+            let stats = self.with_host(host, |hl, _| {
+                hl.endpoints.iter().map(|e| e.stats).collect::<Vec<_>>()
+            });
+            if let Some(stats) = stats {
+                for s in stats {
+                    total.scatterings_sent += s.scatterings_sent;
+                    total.packets_sent += s.packets_sent;
+                    total.retransmits += s.retransmits;
+                    total.delivered_be += s.delivered_be;
+                    total.delivered_rel += s.delivered_rel;
+                    total.send_failures += s.send_failures;
+                    total.commits_sent += s.commits_sent;
+                    total.rx_dropped += s.rx_dropped;
+                    total.late_drops += s.late_drops;
+                    total.commit_anomalies += s.commit_anomalies;
+                }
+            }
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane pumping
+    // ------------------------------------------------------------------
+
+    fn push_mgmt(&mut self, at: u64, msg: MgmtMsg) {
+        self.mgmt_seq += 1;
+        self.mgmt.push(Reverse(MgmtEntry { at, seq: self.mgmt_seq, msg }));
+    }
+
+    fn pump_control(&mut self) {
+        let now = self.sim.now();
+        // Switch detect reports.
+        let events: Vec<SwitchEvent> = self.switch_events.borrow_mut().drain(..).collect();
+        let mut actions = Vec::new();
+        for ev in events {
+            let SwitchEvent::InLinkDead { switch, from, last_commit, at } = ev;
+            actions.extend(self.controller.apply(
+                CtrlEvent::Detect { reporter: switch, dead: from, last_commit, at },
+                now,
+            ));
+        }
+        // Endpoint control requests.
+        let reqs: Vec<(ProcessId, CtrlRequest)> =
+            self.ctrl_outbox.borrow_mut().drain(..).collect();
+        for (from, req) in reqs {
+            match req {
+                CtrlRequest::CallbackComplete { announce_id } => {
+                    actions.extend(
+                        self.controller
+                            .apply(CtrlEvent::CallbackComplete { announce_id, from }, now),
+                    );
+                }
+                CtrlRequest::UndeliverableRecall { to, ts, seq } => {
+                    actions.extend(self.controller.apply(
+                        CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from },
+                        now,
+                    ));
+                }
+                CtrlRequest::Forward { dgram } => {
+                    // Controller relays after two management hops.
+                    self.push_mgmt(now + 2 * self.mgmt_delay, MgmtMsg::Forward { dgram });
+                }
+            }
+        }
+        // Window expiry.
+        actions.extend(self.controller.tick(now));
+        let mut out_idx = 0u64;
+        for a in actions {
+            match a {
+                CtrlAction::Announce { id, to, failures } => {
+                    // Controller sends serialize: contacting every correct
+                    // process costs per-message CPU/network time.
+                    out_idx += 1;
+                    self.push_mgmt(
+                        now + self.mgmt_delay + out_idx * self.mgmt_serialize,
+                        MgmtMsg::Announce { to, id, failures },
+                    );
+                }
+                CtrlAction::Resume { dead_node } => {
+                    self.push_mgmt(now + self.mgmt_delay, MgmtMsg::Resume { dead: dead_node });
+                }
+                CtrlAction::RecoveryInfo { .. } => { /* receiver recovery: not routed in-sim */ }
+            }
+        }
+    }
+
+    fn apply_mgmt(&mut self, msg: MgmtMsg) {
+        match msg {
+            MgmtMsg::Announce { to, id, failures } => {
+                let Some(host) = self.procs.host_of(to) else { return };
+                let node = self.topo.host_node(host);
+                self.sim.with_node(node, |logic, ctx| {
+                    logic
+                        .as_any_mut()
+                        .unwrap()
+                        .downcast_mut::<HostLogic>()
+                        .unwrap()
+                        .deliver_announcement(ctx, to, id, &failures);
+                });
+            }
+            MgmtMsg::Resume { dead } => {
+                // Every switch downstream of the dead node drops it from
+                // commit aggregation.
+                let neighbors: Vec<NodeId> = self.sim.out_neighbors(dead).to_vec();
+                for n in neighbors {
+                    self.sim.with_node(n, |logic, ctx| {
+                        if let Some(any) = logic.as_any_mut() {
+                            if let Some(sw) = any.downcast_mut::<SwitchLogic>() {
+                                sw.remove_commit_input(dead);
+                                let _ = ctx;
+                            }
+                        }
+                    });
+                }
+            }
+            MgmtMsg::Forward { dgram } => {
+                let Some(host) = self.procs.host_of(dgram.dst) else { return };
+                let node = self.topo.host_node(host);
+                self.sim.with_node(node, |logic, ctx| {
+                    logic
+                        .as_any_mut()
+                        .unwrap()
+                        .downcast_mut::<HostLogic>()
+                        .unwrap()
+                        .deliver_forwarded(ctx, dgram);
+                });
+            }
+        }
+    }
+}
+
+/// Map the topology onto controller failure domains.
+fn build_failure_domains(topo: &Topology, procs: &ProcessMap) -> FailureDomains {
+    let mut domains = FailureDomains::default();
+    let mut next_comp = 0u32;
+    // Hosts.
+    for h in 0..topo.num_hosts() {
+        let host = HostId(h as u32);
+        domains.add_component(
+            next_comp,
+            vec![topo.host_node(host)],
+            procs.processes_on(host).to_vec(),
+        );
+        next_comp += 1;
+    }
+    // Physical switches: group up/down halves.
+    use std::collections::HashMap;
+    let mut tors: HashMap<(u32, u32), Vec<NodeId>> = HashMap::new();
+    let mut spines: HashMap<(u32, u32), Vec<NodeId>> = HashMap::new();
+    let mut cores: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for (i, role) in topo.roles.iter().enumerate() {
+        let n = NodeId(i as u32);
+        match *role {
+            NodeRole::TorUp { pod, idx } | NodeRole::TorDown { pod, idx } => {
+                tors.entry((pod, idx)).or_default().push(n)
+            }
+            NodeRole::SpineUp { pod, idx } | NodeRole::SpineDown { pod, idx } => {
+                spines.entry((pod, idx)).or_default().push(n)
+            }
+            NodeRole::Core { idx } => cores.entry(idx).or_default().push(n),
+            NodeRole::Host(_) => continue,
+        };
+    }
+    let mut tor_list: Vec<_> = tors.into_iter().collect();
+    tor_list.sort_by_key(|(k, _)| *k);
+    for ((pod, idx), nodes) in tor_list {
+        // Single-homed racks: a dead ToR kills every process in the rack.
+        let first_host = (pod * topo.params.tors_per_pod + idx) * topo.params.hosts_per_tor;
+        let mut killed = Vec::new();
+        for h in first_host..first_host + topo.params.hosts_per_tor {
+            killed.extend_from_slice(procs.processes_on(HostId(h)));
+        }
+        domains.add_component(next_comp, nodes, killed);
+        next_comp += 1;
+    }
+    let mut spine_list: Vec<_> = spines.into_iter().collect();
+    spine_list.sort_by_key(|(k, _)| *k);
+    for (_, nodes) in spine_list {
+        domains.add_component(next_comp, nodes, Vec::new());
+        next_comp += 1;
+    }
+    let mut core_list: Vec<_> = cores.into_iter().collect();
+    core_list.sort_by_key(|(k, _)| *k);
+    for (_, nodes) in core_list {
+        domains.add_component(next_comp, nodes, Vec::new());
+        next_comp += 1;
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use onepipe_types::time::MICROS;
+
+    #[test]
+    fn best_effort_delivery_across_rack() {
+        let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
+        c.run_for(50 * MICROS); // let barriers start flowing
+        c.send(ProcessId(0), vec![Message::new(ProcessId(3), "hi")], false).unwrap();
+        c.run_for(100 * MICROS);
+        let d = c.take_deliveries();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].receiver, ProcessId(3));
+        assert_eq!(d[0].msg.payload, Bytes::from_static(b"hi"));
+        assert!(!d[0].reliable);
+    }
+
+    #[test]
+    fn reliable_delivery_across_pods() {
+        let mut c = Cluster::new(ClusterConfig::testbed(32));
+        c.run_for(50 * MICROS);
+        // Process 0 (host 0, pod 0) to process 31 (host 31, pod 1).
+        c.send(ProcessId(0), vec![Message::new(ProcessId(31), "cross-pod")], true)
+            .unwrap();
+        c.run_for(200 * MICROS);
+        let d = c.take_deliveries();
+        assert_eq!(d.len(), 1);
+        assert!(d[0].reliable);
+        assert_eq!(d[0].msg.payload, Bytes::from_static(b"cross-pod"));
+    }
+
+    #[test]
+    fn total_order_is_consistent_across_receivers() {
+        let mut c = Cluster::new(ClusterConfig::single_rack(8, 8));
+        c.run_for(50 * MICROS);
+        // Every process scatters to two receivers; both receivers must see
+        // all scatterings in the same relative order.
+        for round in 0..5 {
+            for p in 0..6u32 {
+                let payload = format!("{p}-{round}");
+                c.send(
+                    ProcessId(p),
+                    vec![
+                        Message::new(ProcessId(6), payload.clone()),
+                        Message::new(ProcessId(7), payload),
+                    ],
+                    false,
+                )
+                .unwrap();
+            }
+            c.run_for(10 * MICROS);
+        }
+        c.run_for(300 * MICROS);
+        let d = c.take_deliveries();
+        let seen_by = |r: u32| -> Vec<Bytes> {
+            d.iter()
+                .filter(|rec| rec.receiver == ProcessId(r))
+                .map(|rec| rec.msg.payload.clone())
+                .collect()
+        };
+        let a = seen_by(6);
+        let b = seen_by(7);
+        assert_eq!(a.len(), 30, "all 30 scatterings delivered to p6");
+        assert_eq!(a, b, "both receivers must deliver in the same order");
+        // And the order must be the total (ts, sender, seq) order.
+        let mut keys: Vec<_> = d
+            .iter()
+            .filter(|rec| rec.receiver == ProcessId(6))
+            .map(|rec| rec.msg.order_key())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "delivery order must match the total order");
+        keys.dedup();
+        assert_eq!(keys.len(), 30, "no duplicates");
+    }
+
+    #[test]
+    fn host_failure_recovery_end_to_end() {
+        let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
+        c.run_for(50 * MICROS);
+        // A reliable message flows normally.
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), "pre")], true).unwrap();
+        c.run_for(100 * MICROS);
+        assert_eq!(c.take_deliveries().len(), 1);
+        // Kill host 3 (process 3).
+        let t_crash = c.sim.now();
+        c.crash_host(t_crash + 1, HostId(3));
+        c.run_for(500 * MICROS);
+        // Controller announced the failure.
+        let failed = c.failed_processes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, ProcessId(3));
+        // The survivors keep making progress afterwards.
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), "post")], true).unwrap();
+        c.run_for(300 * MICROS);
+        let d = c.take_deliveries();
+        assert!(
+            d.iter().any(|r| r.msg.payload == Bytes::from_static(b"post")),
+            "reliable delivery must resume after recovery"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
+            c.run_for(50 * MICROS);
+            for p in 0..4u32 {
+                c.send(ProcessId(p), vec![Message::new(ProcessId((p + 1) % 4), "x")], false)
+                    .unwrap();
+            }
+            c.run_for(200 * MICROS);
+            c.take_deliveries()
+                .iter()
+                .map(|r| (r.at, r.receiver, r.msg.ts, r.msg.src))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}
+

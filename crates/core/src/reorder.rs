@@ -1,0 +1,449 @@
+//! The receive-side reorder buffer.
+//!
+//! Arriving fragments are buffered and sorted by their total-order key
+//! `(timestamp, sender, seq)`; whole messages are released to the
+//! application when the barrier passes them (paper §4.1: "it first buffers
+//! the packet in a priority queue that sorts packets based on the message
+//! timestamp ... it delivers all buffered packets with the message
+//! timestamp below B").
+//!
+//! Note on the key order: [`Timestamp`] ordering is PAWS-style ring
+//! comparison, which is a valid total order only within half the 48-bit
+//! ring (~39 hours). The reorder buffer only ever holds a few barrier
+//! intervals' worth of messages (microseconds), so this is safe.
+
+use crate::frag::START_OF_MESSAGE;
+use bytes::{Bytes, BytesMut};
+use onepipe_types::ids::ProcessId;
+use onepipe_types::message::{Delivered, OrderKey};
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::Flags;
+use std::collections::BTreeMap;
+
+/// Identifies one message inside the buffer: total-order key + message
+/// index within the scattering (a scattering may contain several messages
+/// for the same receiver).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct MsgKey {
+    /// Scattering-level total-order key.
+    pub key: OrderKey,
+    /// Message index within the scattering (per receiver).
+    pub midx: u16,
+}
+
+/// A partially assembled message.
+#[derive(Debug, Default)]
+struct PendingMsg {
+    /// Fragments by PSN (application bytes, prefix already stripped).
+    frags: BTreeMap<u32, Bytes>,
+    start_psn: Option<u32>,
+    end_psn: Option<u32>,
+    bytes: usize,
+}
+
+impl PendingMsg {
+    fn is_complete(&self) -> bool {
+        match (self.start_psn, self.end_psn) {
+            (Some(s), Some(e)) => {
+                e.wrapping_sub(s) as usize + 1 == self.frags.len()
+            }
+            _ => false,
+        }
+    }
+
+    fn assemble(self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.bytes);
+        for (_, frag) in self.frags {
+            buf.extend_from_slice(&frag);
+        }
+        buf.freeze()
+    }
+
+    fn any_psn(&self) -> u32 {
+        self.frags.keys().next().copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of inserting a fragment.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Insert {
+    /// Buffered, waiting for the barrier (or for more fragments).
+    Buffered,
+    /// The fragment's timestamp is at or below the delivered edge — it
+    /// arrived too late (out-of-FIFO or retransmitted after delivery).
+    Late,
+    /// Unordered mode only: the message completed and is delivered now.
+    Ready(Delivered),
+}
+
+/// A message that the barrier passed while it was still incomplete —
+/// fragments were lost. Reported so the receiver can NAK the sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedMsg {
+    /// Which message.
+    pub key: MsgKey,
+    /// A PSN belonging to it (for the NAK).
+    pub psn: u32,
+}
+
+/// The reorder buffer of one service channel on one endpoint.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    pending: BTreeMap<MsgKey, PendingMsg>,
+    /// Barrier edge below (or at, if `inclusive`) which everything was
+    /// already delivered or discarded.
+    edge: Timestamp,
+    /// Reliable channel delivers `ts ≤ barrier`; best-effort `ts < barrier`.
+    inclusive: bool,
+    /// Deliver immediately on completion (baseline mode).
+    unordered: bool,
+    bytes: usize,
+    /// High-water mark of buffered bytes (Figure 11 memory accounting).
+    pub max_bytes: usize,
+}
+
+impl ReorderBuffer {
+    /// Create a buffer. `inclusive` selects the reliable-channel delivery
+    /// rule (`ts ≤ barrier`).
+    pub fn new(inclusive: bool, unordered: bool) -> Self {
+        ReorderBuffer {
+            pending: BTreeMap::new(),
+            edge: Timestamp::ZERO,
+            inclusive,
+            unordered,
+            bytes: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Current buffered bytes.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of buffered (in-progress) messages.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The delivered edge.
+    pub fn edge(&self) -> Timestamp {
+        self.edge
+    }
+
+    fn is_late(&self, ts: Timestamp) -> bool {
+        if self.edge == Timestamp::ZERO {
+            return false; // nothing delivered yet
+        }
+        if self.inclusive {
+            ts <= self.edge
+        } else {
+            ts < self.edge
+        }
+    }
+
+    /// Insert one fragment.
+    pub fn insert_fragment(
+        &mut self,
+        key: OrderKey,
+        midx: u16,
+        psn: u32,
+        flags: Flags,
+        data: Bytes,
+    ) -> Insert {
+        if self.is_late(key.ts) {
+            return Insert::Late;
+        }
+        let mk = MsgKey { key, midx };
+        let entry = self.pending.entry(mk).or_default();
+        if flags.contains(START_OF_MESSAGE) {
+            entry.start_psn = Some(psn);
+        }
+        if flags.contains(Flags::END_OF_MESSAGE) {
+            entry.end_psn = Some(psn);
+        }
+        if entry.frags.insert(psn, data.clone()).is_none() {
+            entry.bytes += data.len();
+            self.bytes += data.len();
+            self.max_bytes = self.max_bytes.max(self.bytes);
+        }
+        if self.unordered && entry.is_complete() {
+            let msg = self.pending.remove(&mk).unwrap();
+            self.bytes -= msg.bytes;
+            return Insert::Ready(Delivered {
+                ts: key.ts,
+                src: key.sender,
+                seq: key.seq,
+                payload: msg.assemble(),
+            });
+        }
+        Insert::Buffered
+    }
+
+    /// Advance the barrier: release every complete message the barrier
+    /// passed (in total order) and report incomplete ones as failed.
+    pub fn advance(&mut self, barrier: Timestamp) -> (Vec<Delivered>, Vec<FailedMsg>) {
+        let mut delivered = Vec::new();
+        let mut failed = Vec::new();
+        if self.unordered {
+            return (delivered, failed);
+        }
+        if barrier == Timestamp::ZERO
+            || (self.edge != Timestamp::ZERO && barrier <= self.edge)
+        {
+            return (delivered, failed);
+        }
+        while let Some((&mk, _)) = self.pending.first_key_value() {
+            let passes = if self.inclusive {
+                mk.key.ts <= barrier
+            } else {
+                mk.key.ts < barrier
+            };
+            if !passes {
+                break;
+            }
+            let msg = self.pending.remove(&mk).unwrap();
+            self.bytes -= msg.bytes;
+            if msg.is_complete() {
+                delivered.push(Delivered {
+                    ts: mk.key.ts,
+                    src: mk.key.sender,
+                    seq: mk.key.seq,
+                    payload: msg.assemble(),
+                });
+            } else {
+                failed.push(FailedMsg { key: mk, psn: msg.any_psn() });
+            }
+        }
+        self.edge = barrier;
+        (delivered, failed)
+    }
+
+    /// Failure Discard step (§5.2): drop buffered messages from `sender`
+    /// with timestamps above its failure timestamp. Returns how many
+    /// messages were discarded.
+    pub fn discard_from(&mut self, sender: ProcessId, failure_ts: Timestamp) -> usize {
+        let doomed: Vec<MsgKey> = self
+            .pending
+            .keys()
+            .filter(|mk| mk.key.sender == sender && mk.key.ts > failure_ts)
+            .copied()
+            .collect();
+        for mk in &doomed {
+            let msg = self.pending.remove(mk).unwrap();
+            self.bytes -= msg.bytes;
+        }
+        doomed.len()
+    }
+
+    /// Recall step: drop all buffered messages of one scattering. Returns
+    /// whether anything was present.
+    pub fn discard_scattering(&mut self, sender: ProcessId, ts: Timestamp, seq: u64) -> bool {
+        let doomed: Vec<MsgKey> = self
+            .pending
+            .keys()
+            .filter(|mk| {
+                mk.key.sender == sender && mk.key.ts == ts && mk.key.seq == seq
+            })
+            .copied()
+            .collect();
+        for mk in &doomed {
+            let msg = self.pending.remove(mk).unwrap();
+            self.bytes -= msg.bytes;
+        }
+        !doomed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag::{fragment_message, parse_fragment};
+
+    fn key(ts: u64, sender: u32, seq: u64) -> OrderKey {
+        OrderKey {
+            ts: Timestamp::from_nanos(ts),
+            sender: ProcessId(sender),
+            seq,
+        }
+    }
+
+    fn both_flags() -> Flags {
+        START_OF_MESSAGE | Flags::END_OF_MESSAGE
+    }
+
+    #[test]
+    fn single_fragment_message_delivery() {
+        let mut rb = ReorderBuffer::new(false, false);
+        let r = rb.insert_fragment(key(100, 1, 0), 0, 0, both_flags(), Bytes::from_static(b"a"));
+        assert_eq!(r, Insert::Buffered);
+        // Barrier below: nothing yet.
+        let (d, f) = rb.advance(Timestamp::from_nanos(100));
+        assert!(d.is_empty() && f.is_empty()); // strict: ts < barrier
+        let (d, f) = rb.advance(Timestamp::from_nanos(101));
+        assert_eq!(d.len(), 1);
+        assert!(f.is_empty());
+        assert_eq!(d[0].payload, Bytes::from_static(b"a"));
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn inclusive_rule_for_reliable() {
+        let mut rb = ReorderBuffer::new(true, false);
+        rb.insert_fragment(key(100, 1, 0), 0, 0, both_flags(), Bytes::from_static(b"a"));
+        let (d, _) = rb.advance(Timestamp::from_nanos(100));
+        assert_eq!(d.len(), 1, "reliable delivers ts ≤ barrier");
+    }
+
+    #[test]
+    fn total_order_across_senders() {
+        let mut rb = ReorderBuffer::new(false, false);
+        // Insert out of order.
+        rb.insert_fragment(key(300, 1, 2), 0, 2, both_flags(), Bytes::from_static(b"c"));
+        rb.insert_fragment(key(100, 2, 0), 0, 0, both_flags(), Bytes::from_static(b"a"));
+        rb.insert_fragment(key(200, 1, 1), 0, 1, both_flags(), Bytes::from_static(b"b"));
+        // Tie on ts: broken by sender id.
+        rb.insert_fragment(key(200, 0, 5), 0, 9, both_flags(), Bytes::from_static(b"B"));
+        let (d, _) = rb.advance(Timestamp::from_nanos(1_000));
+        let payloads: Vec<&[u8]> = d.iter().map(|m| m.payload.as_ref()).collect();
+        assert_eq!(payloads, vec![b"a".as_ref(), b"B", b"b", b"c"]);
+    }
+
+    #[test]
+    fn multi_fragment_assembly_via_frag_module() {
+        let mut rb = ReorderBuffer::new(false, false);
+        let data = Bytes::from(vec![9u8; 2500]);
+        let frags = fragment_message(7, 1, &data, 1000);
+        // Deliver fragments out of order with consecutive PSNs 10,11,12.
+        for (i, f) in frags.iter().enumerate().rev() {
+            let (seq, midx, rest) = parse_fragment(f.payload.clone()).unwrap();
+            assert_eq!(seq, 7);
+            rb.insert_fragment(key(50, 3, seq), midx, 10 + i as u32, f.flags, rest);
+        }
+        let (d, f) = rb.advance(Timestamp::from_nanos(51));
+        assert!(f.is_empty());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].payload.len(), 2500);
+        assert_eq!(rb.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn incomplete_message_reported_failed() {
+        let mut rb = ReorderBuffer::new(false, false);
+        // Two-fragment message, second fragment lost.
+        rb.insert_fragment(key(10, 1, 0), 0, 5, START_OF_MESSAGE, Bytes::from_static(b"x"));
+        let (d, f) = rb.advance(Timestamp::from_nanos(11));
+        assert!(d.is_empty());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].psn, 5);
+        assert!(rb.is_empty(), "failed message must be dropped");
+    }
+
+    #[test]
+    fn late_arrival_detected() {
+        let mut rb = ReorderBuffer::new(false, false);
+        rb.insert_fragment(key(10, 1, 0), 0, 0, both_flags(), Bytes::from_static(b"a"));
+        rb.advance(Timestamp::from_nanos(100));
+        let r = rb.insert_fragment(key(50, 1, 1), 0, 1, both_flags(), Bytes::from_static(b"b"));
+        assert_eq!(r, Insert::Late);
+        // Exactly at the edge is fine for best-effort (strict rule).
+        let r = rb.insert_fragment(key(100, 1, 2), 0, 2, both_flags(), Bytes::from_static(b"c"));
+        assert_eq!(r, Insert::Buffered);
+    }
+
+    #[test]
+    fn unordered_mode_delivers_immediately() {
+        let mut rb = ReorderBuffer::new(false, true);
+        let r = rb.insert_fragment(key(10, 1, 0), 0, 0, both_flags(), Bytes::from_static(b"a"));
+        match r {
+            Insert::Ready(d) => assert_eq!(d.payload, Bytes::from_static(b"a")),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        // advance is a no-op in unordered mode.
+        let (d, f) = rb.advance(Timestamp::from_nanos(999));
+        assert!(d.is_empty() && f.is_empty());
+    }
+
+    #[test]
+    fn duplicate_fragment_counted_once() {
+        let mut rb = ReorderBuffer::new(true, false);
+        let k = key(10, 1, 0);
+        rb.insert_fragment(k, 0, 0, START_OF_MESSAGE, Bytes::from_static(b"ab"));
+        rb.insert_fragment(k, 0, 0, START_OF_MESSAGE, Bytes::from_static(b"ab"));
+        assert_eq!(rb.buffered_bytes(), 2);
+        rb.insert_fragment(k, 0, 1, Flags::END_OF_MESSAGE, Bytes::from_static(b"cd"));
+        let (d, _) = rb.advance(Timestamp::from_nanos(10));
+        assert_eq!(d[0].payload, Bytes::from_static(b"abcd"));
+    }
+
+    #[test]
+    fn same_scattering_multiple_messages_to_one_receiver() {
+        let mut rb = ReorderBuffer::new(false, false);
+        let k = key(10, 1, 0);
+        rb.insert_fragment(k, 1, 1, both_flags(), Bytes::from_static(b"second"));
+        rb.insert_fragment(k, 0, 0, both_flags(), Bytes::from_static(b"first"));
+        let (d, _) = rb.advance(Timestamp::from_nanos(11));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].payload, Bytes::from_static(b"first"));
+        assert_eq!(d[1].payload, Bytes::from_static(b"second"));
+    }
+
+    #[test]
+    fn discard_from_failed_sender() {
+        let mut rb = ReorderBuffer::new(true, false);
+        rb.insert_fragment(key(10, 1, 0), 0, 0, both_flags(), Bytes::from_static(b"keep"));
+        rb.insert_fragment(key(20, 1, 1), 0, 1, both_flags(), Bytes::from_static(b"drop"));
+        rb.insert_fragment(key(30, 2, 0), 0, 0, both_flags(), Bytes::from_static(b"other"));
+        let n = rb.discard_from(ProcessId(1), Timestamp::from_nanos(10));
+        assert_eq!(n, 1);
+        let (d, _) = rb.advance(Timestamp::from_nanos(100));
+        let payloads: Vec<&[u8]> = d.iter().map(|m| m.payload.as_ref()).collect();
+        assert_eq!(payloads, vec![b"keep".as_ref(), b"other"]);
+    }
+
+    #[test]
+    fn discard_scattering_by_id() {
+        let mut rb = ReorderBuffer::new(true, false);
+        let k = key(10, 1, 7);
+        rb.insert_fragment(k, 0, 0, both_flags(), Bytes::from_static(b"m0"));
+        rb.insert_fragment(k, 1, 1, both_flags(), Bytes::from_static(b"m1"));
+        rb.insert_fragment(key(10, 1, 8), 0, 2, both_flags(), Bytes::from_static(b"keep"));
+        assert!(rb.discard_scattering(ProcessId(1), Timestamp::from_nanos(10), 7));
+        assert!(!rb.discard_scattering(ProcessId(1), Timestamp::from_nanos(10), 7));
+        let (d, _) = rb.advance(Timestamp::from_nanos(100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].payload, Bytes::from_static(b"keep"));
+    }
+
+    #[test]
+    fn memory_high_water_mark() {
+        let mut rb = ReorderBuffer::new(false, false);
+        for i in 0..10 {
+            rb.insert_fragment(
+                key(10 + i, 1, i),
+                0,
+                i as u32,
+                both_flags(),
+                Bytes::from(vec![0u8; 100]),
+            );
+        }
+        assert_eq!(rb.buffered_bytes(), 1000);
+        rb.advance(Timestamp::from_nanos(100));
+        assert_eq!(rb.buffered_bytes(), 0);
+        assert_eq!(rb.max_bytes, 1000);
+    }
+
+    #[test]
+    fn barrier_never_regresses() {
+        let mut rb = ReorderBuffer::new(false, false);
+        rb.advance(Timestamp::from_nanos(100));
+        assert_eq!(rb.edge(), Timestamp::from_nanos(100));
+        rb.advance(Timestamp::from_nanos(50));
+        assert_eq!(rb.edge(), Timestamp::from_nanos(100));
+    }
+}

@@ -1,0 +1,695 @@
+//! The discrete-event engine: event queue, node dispatch, link transit.
+
+use crate::link::{Enqueue, Link, LinkParams};
+use crate::stats::Stats;
+use crate::trace::{TraceRecord, TracerHandle};
+use onepipe_types::ids::{LinkId, NodeId};
+use onepipe_types::time::Duration;
+use onepipe_types::wire::{Datagram, Flags, HEADER_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Fixed per-packet overhead on the wire beyond the 1Pipe datagram:
+/// Ethernet + IP + UDP headers (≈ RoCE UD framing in the testbed).
+pub const WIRE_OVERHEAD: u64 = 60;
+
+/// A packet in flight inside the simulator.
+#[derive(Clone, Debug)]
+pub struct SimPacket {
+    /// The self-contained 1Pipe datagram.
+    pub dgram: Datagram,
+    /// Total size on the wire, in bytes.
+    pub wire_bytes: u64,
+}
+
+impl SimPacket {
+    /// Wrap a datagram, computing its wire size.
+    pub fn new(dgram: Datagram) -> Self {
+        let wire_bytes = WIRE_OVERHEAD + HEADER_LEN as u64 + dgram.payload.len() as u64;
+        SimPacket { dgram, wire_bytes }
+    }
+}
+
+/// Behaviour attached to a simulated node (switch logic, host endpoint,
+/// traffic generator, ...).
+pub trait NodeLogic {
+    /// Called once when the simulation starts, to arm initial timers.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet arrived on the link `from → ctx.node()`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, pkt: SimPacket);
+
+    /// A timer armed with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Downcast hook so harnesses can reach concrete node types through
+    /// `Box<dyn NodeLogic>` (e.g. to issue controller commands to a switch).
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+enum EventKind {
+    Arrive { to: NodeId, from: NodeId, pkt: SimPacket },
+    Timer { node: NodeId, token: u64 },
+    LinkAdmin { link: LinkId, up: bool },
+    Crash { node: NodeId },
+    Start { node: NodeId },
+}
+
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The execution context handed to [`NodeLogic`] callbacks.
+///
+/// Provides the node's view of the world: current time, packet
+/// transmission on attached links, timers, neighbor discovery and a
+/// deterministic RNG.
+pub struct Ctx<'a> {
+    now: u64,
+    node: NodeId,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &'a mut u64,
+    links: &'a mut HashMap<LinkId, Link>,
+    out_neighbors: &'a [Vec<NodeId>],
+    in_neighbors: &'a [Vec<NodeId>],
+    rng: &'a mut StdRng,
+    stats: &'a mut Stats,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation (true) time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Outgoing neighbors of this node.
+    pub fn out_neighbors(&self) -> &[NodeId] {
+        &self.out_neighbors[self.node.0 as usize]
+    }
+
+    /// Incoming neighbors of this node.
+    pub fn in_neighbors(&self) -> &[NodeId] {
+        &self.in_neighbors[self.node.0 as usize]
+    }
+
+    /// Deterministic RNG (seeded at simulation construction).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Simulation-wide statistics.
+    pub fn stats(&mut self) -> &mut Stats {
+        self.stats
+    }
+
+    /// Transmit `pkt` on the directed link `self.node → to`.
+    ///
+    /// Models serialization, queueing, tail drop, ECN marking and random
+    /// in-flight loss. Returns `true` if the packet was accepted by the
+    /// transmitter (it may still be lost in flight).
+    pub fn send(&mut self, to: NodeId, mut pkt: SimPacket) -> bool {
+        let link_id = LinkId::new(self.node, to);
+        let Some(link) = self.links.get_mut(&link_id) else {
+            self.stats.drops_no_link += 1;
+            return false;
+        };
+        match link.enqueue(self.now, pkt.wire_bytes) {
+            Enqueue::Accepted { arrive_ns, ecn } => {
+                if ecn {
+                    pkt.dgram.header.flags.insert(Flags::ECN);
+                    self.stats.ecn_marks += 1;
+                }
+                let lost = link.params.loss_rate > 0.0
+                    && self.rng.random_range(0.0..1.0) < link.params.loss_rate;
+                if lost {
+                    self.stats.drops_inflight += 1;
+                } else {
+                    push(
+                        self.queue,
+                        self.seq,
+                        arrive_ns,
+                        EventKind::Arrive { to, from: self.node, pkt },
+                    );
+                }
+                self.stats.packets_sent += 1;
+                true
+            }
+            Enqueue::BufferOverflow => {
+                self.stats.drops_overflow += 1;
+                false
+            }
+            Enqueue::LinkDown => {
+                self.stats.drops_link_down += 1;
+                false
+            }
+        }
+    }
+
+    /// Arm a timer that fires `delay` ns from now with the given token.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        push(
+            self.queue,
+            self.seq,
+            self.now + delay,
+            EventKind::Timer { node: self.node, token },
+        );
+    }
+
+    /// Inspect the queue occupancy of an outgoing link, in bytes.
+    pub fn link_queue_bytes(&self, to: NodeId) -> Option<u64> {
+        self.links
+            .get(&LinkId::new(self.node, to))
+            .map(|l| l.queue_bytes(self.now))
+    }
+
+    /// Whether the outgoing link to `to` is up.
+    pub fn link_is_up(&self, to: NodeId) -> bool {
+        self.links
+            .get(&LinkId::new(self.node, to))
+            .map(|l| l.is_up())
+            .unwrap_or(false)
+    }
+}
+
+fn push(
+    queue: &mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &mut u64,
+    time: u64,
+    kind: EventKind,
+) {
+    *seq += 1;
+    queue.push(Reverse(Scheduled { time, seq: *seq, kind }));
+}
+
+/// The simulator: nodes, links and the event queue.
+pub struct Sim {
+    now: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    nodes: Vec<Option<Box<dyn NodeLogic>>>,
+    crashed: Vec<bool>,
+    links: HashMap<LinkId, Link>,
+    out_neighbors: Vec<Vec<NodeId>>,
+    in_neighbors: Vec<Vec<NodeId>>,
+    rng: StdRng,
+    tracer: Option<TracerHandle>,
+    /// Simulation-wide statistics.
+    pub stats: Stats,
+}
+
+impl Sim {
+    /// Create an empty simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            crashed: Vec::new(),
+            links: HashMap::new(),
+            out_neighbors: Vec::new(),
+            in_neighbors: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            tracer: None,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Attach a packet tracer; every delivered packet is recorded.
+    pub fn set_tracer(&mut self, tracer: TracerHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Current simulation time (ns).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Add a node without logic (logic can be attached later); returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(None);
+        self.crashed.push(false);
+        self.out_neighbors.push(Vec::new());
+        self.in_neighbors.push(Vec::new());
+        id
+    }
+
+    /// Attach (or replace) the logic of a node. An `on_start` event is
+    /// scheduled at the current time.
+    pub fn set_logic(&mut self, node: NodeId, logic: Box<dyn NodeLogic>) {
+        self.nodes[node.0 as usize] = Some(logic);
+        push(&mut self.queue, &mut self.seq, self.now, EventKind::Start { node });
+    }
+
+    /// Add a directed link with the given parameters.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        let id = LinkId::new(from, to);
+        assert!(
+            self.links.insert(id, Link::new(params)).is_none(),
+            "duplicate link {id:?}"
+        );
+        self.out_neighbors[from.0 as usize].push(to);
+        self.in_neighbors[to.0 as usize].push(from);
+    }
+
+    /// Add a bidirectional link (two directed links with equal parameters).
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.add_link(a, b, params);
+        self.add_link(b, a, params);
+    }
+
+    /// Mutable access to a link (loss-rate adjustment, inspection).
+    pub fn link_mut(&mut self, id: LinkId) -> Option<&mut Link> {
+        self.links.get_mut(&id)
+    }
+
+    /// Shared access to a link.
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(&id)
+    }
+
+    /// Set the loss rate of every link in the network.
+    pub fn set_global_loss_rate(&mut self, rate: f64) {
+        for link in self.links.values_mut() {
+            link.params.loss_rate = rate;
+        }
+    }
+
+    /// Schedule an administrative link up/down change at `at` (absolute ns).
+    pub fn schedule_link_admin(&mut self, at: u64, link: LinkId, up: bool) {
+        assert!(at >= self.now);
+        push(&mut self.queue, &mut self.seq, at, EventKind::LinkAdmin { link, up });
+    }
+
+    /// Schedule a node crash at `at` (absolute ns): the node stops
+    /// processing all events from that time on.
+    pub fn schedule_crash(&mut self, at: u64, node: NodeId) {
+        assert!(at >= self.now);
+        push(&mut self.queue, &mut self.seq, at, EventKind::Crash { node });
+    }
+
+    /// Schedule a timer on a node from outside (harness hook).
+    pub fn schedule_timer(&mut self, at: u64, node: NodeId, token: u64) {
+        assert!(at >= self.now);
+        push(&mut self.queue, &mut self.seq, at, EventKind::Timer { node, token });
+    }
+
+    /// Whether a node has been crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.0 as usize]
+    }
+
+    /// Time of the next queued event, if any (harness interleaving).
+    pub fn peek_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Outgoing neighbors of a node.
+    pub fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.out_neighbors[node.0 as usize]
+    }
+
+    /// Incoming neighbors of a node.
+    pub fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.in_neighbors[node.0 as usize]
+    }
+
+    /// Immutable access to a node's logic, downcast by the caller.
+    pub fn logic(&self, node: NodeId) -> Option<&dyn NodeLogic> {
+        self.nodes[node.0 as usize].as_deref()
+    }
+
+    /// Mutable access to a node's logic (the harness uses this to inject
+    /// application work between events).
+    pub fn logic_mut(&mut self, node: NodeId) -> Option<&mut (dyn NodeLogic + 'static)> {
+        match self.nodes[node.0 as usize] {
+            Some(ref mut b) => Some(b.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Run a node callback from the harness with a proper [`Ctx`]
+    /// (used to inject application sends at the current simulation time).
+    pub fn with_node<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn NodeLogic, &mut Ctx<'_>) -> R,
+    ) -> Option<R> {
+        if self.crashed[node.0 as usize] {
+            return None;
+        }
+        let mut logic = self.nodes[node.0 as usize].take()?;
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            links: &mut self.links,
+            out_neighbors: &self.out_neighbors,
+            in_neighbors: &self.in_neighbors,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+        };
+        let r = f(logic.as_mut(), &mut ctx);
+        self.nodes[node.0 as usize] = Some(logic);
+        Some(r)
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Arrive { to, from, pkt } => {
+                if !self.crashed[to.0 as usize] {
+                    // Packets arriving over a link that went down mid-flight
+                    // are still delivered: they were already serialized.
+                    self.dispatch_packet(to, from, pkt);
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if !self.crashed[node.0 as usize] {
+                    self.dispatch_timer(node, token);
+                }
+            }
+            EventKind::LinkAdmin { link, up } => {
+                if let Some(l) = self.links.get_mut(&link) {
+                    l.set_up(up);
+                }
+            }
+            EventKind::Crash { node } => {
+                self.crashed[node.0 as usize] = true;
+                // Take both directions of every attached link down.
+                for peer in self.out_neighbors[node.0 as usize].clone() {
+                    if let Some(l) = self.links.get_mut(&LinkId::new(node, peer)) {
+                        l.set_up(false);
+                    }
+                }
+                for peer in self.in_neighbors[node.0 as usize].clone() {
+                    if let Some(l) = self.links.get_mut(&LinkId::new(peer, node)) {
+                        l.set_up(false);
+                    }
+                }
+            }
+            EventKind::Start { node } => {
+                if !self.crashed[node.0 as usize] {
+                    self.dispatch_start(node);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue is exhausted or `t_end` (ns) is reached.
+    /// Events at exactly `t_end` are processed.
+    pub fn run_until(&mut self, t_end: u64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > t_end {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t_end);
+    }
+
+    /// Run until the queue drains completely.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    fn dispatch_packet(&mut self, to: NodeId, from: NodeId, pkt: SimPacket) {
+        if let Some(tracer) = &self.tracer {
+            let h = pkt.dgram.header;
+            tracer.borrow_mut().record(TraceRecord {
+                at: self.now,
+                from,
+                to,
+                opcode: h.opcode,
+                psn: h.psn,
+                msg_ts: h.msg_ts,
+                barrier: h.barrier,
+                commit_barrier: h.commit_barrier,
+                wire_bytes: pkt.wire_bytes,
+            });
+        }
+        let Some(mut logic) = self.nodes[to.0 as usize].take() else {
+            self.stats.drops_no_logic += 1;
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node: to,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            links: &mut self.links,
+            out_neighbors: &self.out_neighbors,
+            in_neighbors: &self.in_neighbors,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+        };
+        logic.on_packet(&mut ctx, from, pkt);
+        self.nodes[to.0 as usize] = Some(logic);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: u64) {
+        let Some(mut logic) = self.nodes[node.0 as usize].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            links: &mut self.links,
+            out_neighbors: &self.out_neighbors,
+            in_neighbors: &self.in_neighbors,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+        };
+        logic.on_timer(&mut ctx, token);
+        self.nodes[node.0 as usize] = Some(logic);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        let Some(mut logic) = self.nodes[node.0 as usize].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            links: &mut self.links,
+            out_neighbors: &self.out_neighbors,
+            in_neighbors: &self.in_neighbors,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+        };
+        logic.on_start(&mut ctx);
+        self.nodes[node.0 as usize] = Some(logic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use onepipe_types::ids::ProcessId;
+    use onepipe_types::time::Timestamp;
+    use onepipe_types::wire::{Opcode, PacketHeader};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn dgram(psn: u32) -> Datagram {
+        Datagram {
+            src: ProcessId(0),
+            dst: ProcessId(1),
+            header: PacketHeader {
+                msg_ts: Timestamp::from_nanos(psn as u64),
+                barrier: Timestamp::ZERO,
+                commit_barrier: Timestamp::ZERO,
+                psn,
+                opcode: Opcode::Data,
+                flags: Flags::empty(),
+            },
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    /// Records every packet it receives, with arrival time.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(u64, u32)>>>,
+    }
+    impl NodeLogic for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
+            self.log.borrow_mut().push((ctx.now(), pkt.dgram.header.psn));
+        }
+    }
+
+    /// Sends `n` packets to a fixed peer when started.
+    struct Blaster {
+        peer: NodeId,
+        n: u32,
+    }
+    impl NodeLogic for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                ctx.send(self.peer, SimPacket::new(dgram(i)));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _pkt: SimPacket) {}
+    }
+
+    type ArrivalLog = Rc<RefCell<Vec<(u64, u32)>>>;
+
+    fn two_node_sim(params: LinkParams) -> (Sim, NodeId, NodeId, ArrivalLog) {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, params);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_logic(b, Box::new(Recorder { log: log.clone() }));
+        (sim, a, b, log)
+    }
+
+    #[test]
+    fn packets_arrive_in_fifo_order() {
+        let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 50 }));
+        sim.run_to_completion();
+        let log = log.borrow();
+        assert_eq!(log.len(), 50);
+        for w in log.windows(2) {
+            assert!(w[0].0 < w[1].0, "arrival times must strictly increase");
+            assert!(w[0].1 < w[1].1, "PSNs must arrive in send order");
+        }
+    }
+
+    #[test]
+    fn loss_rate_drops_packets_deterministically() {
+        let params = LinkParams { loss_rate: 0.5, ..Default::default() };
+        let (mut sim, a, _b, log) = two_node_sim(params);
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 1000 }));
+        sim.run_to_completion();
+        let delivered = log.borrow().len();
+        assert!(delivered > 350 && delivered < 650, "got {delivered}");
+        // Determinism: same seed, same count.
+        let (mut sim2, a2, _b2, log2) = two_node_sim(params);
+        sim2.set_logic(a2, Box::new(Blaster { peer: NodeId(1), n: 1000 }));
+        sim2.run_to_completion();
+        assert_eq!(log2.borrow().len(), delivered);
+    }
+
+    #[test]
+    fn crash_stops_delivery() {
+        let (mut sim, a, b, log) = two_node_sim(LinkParams::default());
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 10 }));
+        sim.schedule_crash(0, b);
+        sim.run_to_completion();
+        assert!(sim.is_crashed(b));
+        assert_eq!(log.borrow().len(), 0);
+    }
+
+    #[test]
+    fn link_admin_down_blocks_new_sends() {
+        let (mut sim, a, b, log) = two_node_sim(LinkParams::default());
+        sim.schedule_link_admin(0, LinkId::new(a, b), false);
+        sim.run_until(0); // apply the admin change
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 10 }));
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(sim.stats.drops_link_down, 10);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timers {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl NodeLogic for Timers {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(300, 3);
+                ctx.set_timer(100, 1);
+                ctx.set_timer(200, 2);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, _: SimPacket) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(ctx.now(), token * 100);
+                self.log.borrow_mut().push(token);
+            }
+        }
+        let mut sim = Sim::new(0);
+        let n = sim.add_node();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_logic(n, Box::new(Timers { log: log.clone() }));
+        sim.run_to_completion();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 5 }));
+        sim.run_until(0); // packets sent but still in flight
+        assert_eq!(log.borrow().len(), 0);
+        sim.run_until(1_000_000);
+        assert_eq!(log.borrow().len(), 5);
+        assert_eq!(sim.now(), 1_000_000);
+    }
+
+    #[test]
+    fn with_node_injects_at_current_time() {
+        let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 0 }));
+        sim.run_until(5_000);
+        sim.with_node(a, |logic, ctx| {
+            assert_eq!(ctx.now(), 5_000);
+            logic.on_start(ctx); // Blaster sends nothing (n=0)
+            ctx.send(NodeId(1), SimPacket::new(dgram(42)));
+        });
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].1, 42);
+    }
+
+    #[test]
+    fn with_node_on_crashed_node_is_none() {
+        let (mut sim, a, _b, _log) = two_node_sim(LinkParams::default());
+        sim.schedule_crash(0, a);
+        sim.run_until(1);
+        assert!(sim.with_node(a, |_, _| ()).is_none());
+    }
+}

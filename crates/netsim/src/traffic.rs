@@ -1,0 +1,212 @@
+//! Background traffic generation (Figure 12 experiments).
+//!
+//! Models long-running bulk flows (the paper uses TCP flows) that share
+//! links with 1Pipe traffic and build queues. Background packets carry
+//! [`Opcode::Control`] so switch barrier logic ignores them — exactly like
+//! non-1Pipe traffic in the real testbed — but they occupy the same FIFO
+//! queues and therefore inflate 1Pipe's delivery latency.
+//!
+//! [`Opcode::Control`]: onepipe_types::wire::Opcode::Control
+
+use crate::engine::{Ctx, SimPacket};
+use bytes::Bytes;
+use onepipe_types::ids::{HostId, NodeId, ProcessId};
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
+use rand::Rng;
+
+/// Timer-token namespace reserved for background traffic (top bits set so
+/// host logics can route timer callbacks).
+pub const TRAFFIC_TOKEN_BASE: u64 = 1 << 40;
+
+/// One long-running background flow.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Destination host (routing key).
+    pub dst_host: HostId,
+    /// Destination process id stamped on packets (receivers discard them).
+    pub dst_proc: ProcessId,
+    /// Source process id stamped on packets.
+    pub src_proc: ProcessId,
+    /// Mean offered rate, bits/s.
+    pub rate_bps: u64,
+    /// Payload size per packet.
+    pub packet_bytes: usize,
+}
+
+/// A set of background flows originating at one host, driven by timers.
+///
+/// Embed in a host's `NodeLogic`; call [`start`](Self::start) from
+/// `on_start` and forward timers with tokens ≥ [`TRAFFIC_TOKEN_BASE`] to
+/// [`on_timer`](Self::on_timer).
+pub struct BackgroundTraffic {
+    flows: Vec<FlowSpec>,
+    /// The next hop all packets take (the host's ToR).
+    first_hop: NodeId,
+    /// Packets sent per flow.
+    pub sent: Vec<u64>,
+}
+
+impl BackgroundTraffic {
+    /// Create a generator for `flows` leaving via `first_hop`.
+    pub fn new(flows: Vec<FlowSpec>, first_hop: NodeId) -> Self {
+        let n = flows.len();
+        BackgroundTraffic { flows, first_hop, sent: vec![0; n] }
+    }
+
+    /// Whether a timer token belongs to this generator.
+    pub fn owns_token(token: u64) -> bool {
+        token >= TRAFFIC_TOKEN_BASE
+    }
+
+    /// Arm the first transmission timer of every flow.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.flows.len() {
+            let delay = self.next_gap(ctx, i);
+            ctx.set_timer(delay, TRAFFIC_TOKEN_BASE + i as u64);
+        }
+    }
+
+    /// Handle a traffic timer: send one packet and re-arm.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let i = (token - TRAFFIC_TOKEN_BASE) as usize;
+        if i >= self.flows.len() {
+            return;
+        }
+        let flow = self.flows[i].clone();
+        let dgram = Datagram {
+            src: flow.src_proc,
+            dst: flow.dst_proc,
+            header: PacketHeader {
+                msg_ts: Timestamp::ZERO,
+                barrier: Timestamp::ZERO,
+                commit_barrier: Timestamp::ZERO,
+                psn: self.sent[i] as u32,
+                opcode: Opcode::Control,
+                flags: Flags::empty(),
+            },
+            payload: Bytes::from(vec![0u8; flow.packet_bytes]),
+        };
+        ctx.send(self.first_hop, SimPacket::new(dgram));
+        self.sent[i] += 1;
+        let delay = self.next_gap(ctx, i);
+        ctx.set_timer(delay, token);
+    }
+
+    /// Exponentially distributed inter-packet gap targeting the flow rate
+    /// (Poisson arrivals).
+    fn next_gap(&self, ctx: &mut Ctx<'_>, i: usize) -> u64 {
+        let flow = &self.flows[i];
+        let bits = (flow.packet_bytes as u64 + 84) * 8; // incl. overheads
+        let mean_gap_ns = bits as f64 * 1e9 / flow.rate_bps as f64;
+        let u: f64 = ctx.rng().random_range(f64::MIN_POSITIVE..1.0);
+        let gap = -mean_gap_ns * u.ln();
+        gap.clamp(1.0, 1e12) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{NodeLogic, Sim};
+    use crate::link::LinkParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct TrafficHost {
+        traffic: BackgroundTraffic,
+    }
+    impl NodeLogic for TrafficHost {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.traffic.start(ctx);
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, _: SimPacket) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if BackgroundTraffic::owns_token(token) {
+                self.traffic.on_timer(ctx, token);
+            }
+        }
+    }
+
+    struct Counter {
+        n: Rc<RefCell<u64>>,
+        bytes: Rc<RefCell<u64>>,
+    }
+    impl NodeLogic for Counter {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, pkt: SimPacket) {
+            *self.n.borrow_mut() += 1;
+            *self.bytes.borrow_mut() += pkt.wire_bytes;
+        }
+    }
+
+    #[test]
+    fn flow_achieves_target_rate() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkParams::default());
+        let n = Rc::new(RefCell::new(0u64));
+        let bytes = Rc::new(RefCell::new(0u64));
+        sim.set_logic(b, Box::new(Counter { n: n.clone(), bytes: bytes.clone() }));
+        let flows = vec![FlowSpec {
+            dst_host: HostId(1),
+            dst_proc: ProcessId(1),
+            src_proc: ProcessId(0),
+            rate_bps: 1_000_000_000, // 1 Gbps
+            packet_bytes: 1000,
+        }];
+        sim.set_logic(a, Box::new(TrafficHost { traffic: BackgroundTraffic::new(flows, b) }));
+        let runtime_ns = 10_000_000; // 10 ms
+        sim.run_until(runtime_ns);
+        let achieved_bps = *bytes.borrow() as f64 * 8.0 * 1e9 / runtime_ns as f64;
+        assert!(
+            (0.8e9..1.2e9).contains(&achieved_bps),
+            "achieved {achieved_bps:.3e} bps"
+        );
+        assert!(*n.borrow() > 100);
+    }
+
+    #[test]
+    fn overload_produces_ecn_marks_and_drops() {
+        let mut sim = Sim::new(8);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // A slow link with a small buffer and low ECN threshold.
+        sim.add_duplex_link(
+            a,
+            b,
+            LinkParams {
+                bandwidth_bps: 1_000_000_000, // 1 Gbps
+                prop_delay_ns: 500,
+                buffer_bytes: 20_000,
+                ecn_threshold_bytes: 5_000,
+                loss_rate: 0.0,
+            },
+        );
+        let n = Rc::new(RefCell::new(0u64));
+        let bytes = Rc::new(RefCell::new(0u64));
+        sim.set_logic(b, Box::new(Counter { n: n.clone(), bytes: bytes.clone() }));
+        let flows = vec![FlowSpec {
+            dst_host: HostId(1),
+            dst_proc: ProcessId(1),
+            src_proc: ProcessId(0),
+            rate_bps: 4_000_000_000, // 4× the link
+            packet_bytes: 1000,
+        }];
+        sim.set_logic(a, Box::new(TrafficHost { traffic: BackgroundTraffic::new(flows, b) }));
+        sim.run_until(5_000_000);
+        assert!(sim.stats.ecn_marks > 0, "queue must cross the ECN threshold");
+        assert!(sim.stats.drops_overflow > 0, "offered 4x capacity must tail-drop");
+        // Delivered goodput is capped by the link, not the offered rate.
+        let achieved = *bytes.borrow() as f64 * 8.0 * 1e9 / 5_000_000.0 / 1e9;
+        assert!(achieved < 1.3e9, "goodput {achieved:.2e} can't exceed the link");
+    }
+
+    #[test]
+    fn token_ownership() {
+        assert!(BackgroundTraffic::owns_token(TRAFFIC_TOKEN_BASE));
+        assert!(BackgroundTraffic::owns_token(TRAFFIC_TOKEN_BASE + 5));
+        assert!(!BackgroundTraffic::owns_token(0));
+        assert!(!BackgroundTraffic::owns_token(1_000_000));
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-switch barrier register state and the eq. (4.1) minimum.
+
+use onepipe_types::ids::NodeId;
+use onepipe_types::time::Timestamp;
+
+/// Barrier bookkeeping for one logical switch.
+///
+/// Keeps two registers per input link — one for the best-effort barrier,
+/// one for the commit barrier (paper §6.2.1: "2 state registers per input
+/// link") — plus liveness tracking and monotonic output clamps.
+#[derive(Clone, Debug)]
+pub struct BarrierAggregator {
+    inputs: Vec<NodeId>,
+    /// Best-effort barrier register per input link.
+    be: Vec<Timestamp>,
+    /// Commit barrier register per input link.
+    commit: Vec<Timestamp>,
+    /// Last time anything (data or beacon) was heard on each input link.
+    last_heard: Vec<u64>,
+    /// Input links removed from the best-effort minimum (decentralized
+    /// timeout, §4.2).
+    be_dead: Vec<bool>,
+    /// Input links removed from the commit minimum (only by the
+    /// controller's Resume step, §5.2).
+    commit_dead: Vec<bool>,
+    /// Monotonic clamp on the outgoing best-effort barrier.
+    out_be: Timestamp,
+    /// Monotonic clamp on the outgoing commit barrier.
+    out_commit: Timestamp,
+    /// Number of min-computations performed (CPU cost model, Figure 13a).
+    pub min_computes: u64,
+}
+
+impl BarrierAggregator {
+    /// Create an aggregator over the given input links. Registers start at
+    /// [`Timestamp::ZERO`]: the output barrier cannot advance until every
+    /// live input link has reported.
+    pub fn new(inputs: Vec<NodeId>) -> Self {
+        let n = inputs.len();
+        BarrierAggregator {
+            inputs,
+            be: vec![Timestamp::ZERO; n],
+            commit: vec![Timestamp::ZERO; n],
+            last_heard: vec![0; n],
+            be_dead: vec![false; n],
+            commit_dead: vec![false; n],
+            out_be: Timestamp::ZERO,
+            out_commit: Timestamp::ZERO,
+            min_computes: 0,
+        }
+    }
+
+    fn index_of(&self, link: NodeId) -> Option<usize> {
+        self.inputs.iter().position(|&n| n == link)
+    }
+
+    /// The input links this aggregator watches.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Record a best-effort barrier observation on an input link.
+    /// Returns `false` if the link is unknown.
+    pub fn observe_be(&mut self, from: NodeId, barrier: Timestamp, now: u64) -> bool {
+        let Some(i) = self.index_of(from) else { return false };
+        // FIFO links deliver non-decreasing barriers; clamp defensively so
+        // a reordered packet cannot drag the register backwards. ZERO is
+        // the "never heard" sentinel: the first real value replaces it
+        // outright (deployment clocks may sit anywhere in the 48-bit
+        // ring, where a ring-max against ZERO would misorder).
+        self.be[i] = if self.be[i] == Timestamp::ZERO {
+            barrier
+        } else {
+            self.be[i].max(barrier)
+        };
+        self.last_heard[i] = now;
+        // A link that speaks again leaves the best-effort dead set (§4.2
+        // "addition of new hosts and links"); the monotonic output clamp
+        // absorbs any regression while it catches up.
+        self.be_dead[i] = false;
+        true
+    }
+
+    /// Record a commit barrier observation on an input link.
+    pub fn observe_commit(&mut self, from: NodeId, barrier: Timestamp, now: u64) -> bool {
+        let Some(i) = self.index_of(from) else { return false };
+        self.commit[i] = if self.commit[i] == Timestamp::ZERO {
+            barrier
+        } else {
+            self.commit[i].max(barrier)
+        };
+        self.last_heard[i] = now;
+        true
+    }
+
+    /// Mark liveness on a link without a barrier value (e.g. a reliable
+    /// data packet, which does not update barrier registers but proves the
+    /// link is alive).
+    pub fn observe_alive(&mut self, from: NodeId, now: u64) {
+        if let Some(i) = self.index_of(from) {
+            self.last_heard[i] = now;
+            self.be_dead[i] = false;
+        }
+    }
+
+    /// Current outgoing best-effort barrier: `min` over live input links'
+    /// registers, clamped monotone (eq. 4.1).
+    pub fn out_be(&mut self) -> Timestamp {
+        self.min_computes += 1;
+        let mut min: Option<Timestamp> = None;
+        for i in 0..self.inputs.len() {
+            if self.be_dead[i] {
+                continue;
+            }
+            if self.be[i] == Timestamp::ZERO {
+                // A live link that has never reported pins the output at
+                // "no information" (ring comparison against the ZERO
+                // sentinel would be meaningless).
+                return self.out_be;
+            }
+            min = Some(match min {
+                None => self.be[i],
+                Some(m) => m.min(self.be[i]),
+            });
+        }
+        if let Some(m) = min {
+            self.out_be = if self.out_be == Timestamp::ZERO {
+                m
+            } else {
+                self.out_be.max(m)
+            };
+        }
+        self.out_be
+    }
+
+    /// Current outgoing commit barrier: `min` over commit-live input links.
+    pub fn out_commit(&mut self) -> Timestamp {
+        self.min_computes += 1;
+        let mut min: Option<Timestamp> = None;
+        for i in 0..self.inputs.len() {
+            if self.commit_dead[i] {
+                continue;
+            }
+            if self.commit[i] == Timestamp::ZERO {
+                return self.out_commit;
+            }
+            min = Some(match min {
+                None => self.commit[i],
+                Some(m) => m.min(self.commit[i]),
+            });
+        }
+        if let Some(m) = min {
+            self.out_commit = if self.out_commit == Timestamp::ZERO {
+                m
+            } else {
+                self.out_commit.max(m)
+            };
+        }
+        self.out_commit
+    }
+
+    /// Find input links silent since `now − timeout` and remove them from
+    /// the best-effort minimum. Returns the newly-dead links with the last
+    /// commit barrier observed on each (the Detect report of §5.2).
+    pub fn detect_dead(&mut self, now: u64, timeout: u64) -> Vec<(NodeId, Timestamp)> {
+        let mut dead = Vec::new();
+        for i in 0..self.inputs.len() {
+            if self.be_dead[i] {
+                continue;
+            }
+            if now.saturating_sub(self.last_heard[i]) > timeout {
+                self.be_dead[i] = true;
+                dead.push((self.inputs[i], self.commit[i]));
+            }
+        }
+        dead
+    }
+
+    /// Remove an input link from the commit minimum (controller Resume).
+    pub fn remove_commit_input(&mut self, from: NodeId) -> bool {
+        match self.index_of(from) {
+            Some(i) => {
+                self.commit_dead[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-admit a recovered input link to both minima. Its registers keep
+    /// their old values; the monotonic clamp hides them until the link
+    /// catches up (§4.2 link-addition rule).
+    pub fn restore_input(&mut self, from: NodeId, now: u64) -> bool {
+        match self.index_of(from) {
+            Some(i) => {
+                self.be_dead[i] = false;
+                self.commit_dead[i] = false;
+                self.last_heard[i] = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a given input link is currently excluded from the BE min.
+    pub fn is_be_dead(&self, from: NodeId) -> bool {
+        self.index_of(from).map(|i| self.be_dead[i]).unwrap_or(true)
+    }
+
+    /// The best-effort register of one input link (telemetry).
+    pub fn register_be(&self, from: NodeId) -> Option<Timestamp> {
+        self.index_of(from).map(|i| self.be[i])
+    }
+
+    /// The commit register of one input link (telemetry).
+    pub fn register_commit(&self, from: NodeId) -> Option<Timestamp> {
+        self.index_of(from).map(|i| self.commit[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::from_nanos(v)
+    }
+
+    fn agg3() -> BarrierAggregator {
+        BarrierAggregator::new(vec![NodeId(1), NodeId(2), NodeId(3)])
+    }
+
+    #[test]
+    fn min_over_all_inputs() {
+        let mut a = agg3();
+        a.observe_be(NodeId(1), ts(100), 0);
+        a.observe_be(NodeId(2), ts(50), 0);
+        a.observe_be(NodeId(3), ts(80), 0);
+        assert_eq!(a.out_be(), ts(50));
+        a.observe_be(NodeId(2), ts(120), 1);
+        assert_eq!(a.out_be(), ts(80));
+    }
+
+    #[test]
+    fn stalls_until_every_link_reports() {
+        let mut a = agg3();
+        a.observe_be(NodeId(1), ts(100), 0);
+        a.observe_be(NodeId(2), ts(100), 0);
+        // Link 3 never reported → its register is ZERO → min is ZERO.
+        assert_eq!(a.out_be(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn output_is_monotone_even_if_register_regresses() {
+        let mut a = agg3();
+        for n in 1..=3 {
+            a.observe_be(NodeId(n), ts(100), 0);
+        }
+        assert_eq!(a.out_be(), ts(100));
+        // An out-of-order packet with an older barrier must not regress.
+        a.observe_be(NodeId(2), ts(40), 1);
+        assert_eq!(a.out_be(), ts(100));
+    }
+
+    #[test]
+    fn unknown_link_rejected() {
+        let mut a = agg3();
+        assert!(!a.observe_be(NodeId(9), ts(5), 0));
+        assert!(!a.observe_commit(NodeId(9), ts(5), 0));
+        assert!(!a.remove_commit_input(NodeId(9)));
+        assert!(a.is_be_dead(NodeId(9)));
+    }
+
+    #[test]
+    fn dead_link_detection_and_removal() {
+        let mut a = agg3();
+        a.observe_be(NodeId(1), ts(100), 1000);
+        a.observe_be(NodeId(2), ts(90), 1000);
+        a.observe_be(NodeId(3), ts(95), 10); // silent since t=10
+        let dead = a.detect_dead(2000, 1500);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].0, NodeId(3));
+        // With the dead link excluded, the barrier resumes increasing.
+        assert_eq!(a.out_be(), ts(90));
+        // Detect is edge-triggered: a second scan (with the other links
+        // still within their timeout) reports nothing new.
+        assert!(a.detect_dead(2100, 1500).is_empty());
+    }
+
+    #[test]
+    fn dead_link_reports_last_commit() {
+        let mut a = agg3();
+        a.observe_commit(NodeId(3), ts(77), 10);
+        a.observe_be(NodeId(1), ts(100), 1000);
+        a.observe_be(NodeId(2), ts(90), 1000);
+        let dead = a.detect_dead(2000, 1500);
+        assert_eq!(dead, vec![(NodeId(3), ts(77))]);
+    }
+
+    #[test]
+    fn commit_min_waits_for_controller_resume() {
+        let mut a = agg3();
+        a.observe_commit(NodeId(1), ts(100), 0);
+        a.observe_commit(NodeId(2), ts(90), 0);
+        // Link 3 never commits: commit barrier stalls at ZERO...
+        assert_eq!(a.out_commit(), Timestamp::ZERO);
+        a.detect_dead(10_000, 500); // BE removal does NOT unblock commit
+        assert_eq!(a.out_commit(), Timestamp::ZERO);
+        // ...until the controller's Resume removes it.
+        assert!(a.remove_commit_input(NodeId(3)));
+        assert_eq!(a.out_commit(), ts(90));
+    }
+
+    #[test]
+    fn speaking_link_resurrects_from_be_dead() {
+        let mut a = agg3();
+        for n in 1..=3 {
+            a.observe_be(NodeId(n), ts(100), 0);
+        }
+        a.detect_dead(10_000, 500);
+        assert!(a.is_be_dead(NodeId(1)));
+        a.observe_be(NodeId(1), ts(200), 10_001);
+        assert!(!a.is_be_dead(NodeId(1)));
+    }
+
+    #[test]
+    fn restore_input_readmits_to_both_minima() {
+        let mut a = agg3();
+        for n in 1..=3 {
+            a.observe_be(NodeId(n), ts(100), 0);
+            a.observe_commit(NodeId(n), ts(100), 0);
+        }
+        a.remove_commit_input(NodeId(2));
+        a.observe_commit(NodeId(1), ts(200), 1);
+        a.observe_commit(NodeId(3), ts(200), 1);
+        assert_eq!(a.out_commit(), ts(200));
+        // Restore: link 2's stale register (100) is below the clamp (200),
+        // so the output holds at 200 until link 2 catches up.
+        a.restore_input(NodeId(2), 2);
+        assert_eq!(a.out_commit(), ts(200));
+        a.observe_commit(NodeId(2), ts(300), 3);
+        a.observe_commit(NodeId(1), ts(300), 3);
+        a.observe_commit(NodeId(3), ts(300), 3);
+        assert_eq!(a.out_commit(), ts(300));
+    }
+
+    #[test]
+    fn alive_observation_defers_death() {
+        let mut a = agg3();
+        for n in 1..=3 {
+            a.observe_be(NodeId(n), ts(10), 0);
+        }
+        a.observe_alive(NodeId(3), 1900); // reliable data keeps it alive
+        let dead = a.detect_dead(2000, 500);
+        assert_eq!(dead.len(), 2);
+        assert!(!a.is_be_dead(NodeId(3)));
+    }
+}

@@ -1,0 +1,31 @@
+//! In-network processing for 1Pipe: hierarchical barrier aggregation.
+//!
+//! Implements the paper's three switch incarnations (§6.2):
+//!
+//! * [`Incarnation::Chip`] — a programmable switching chip (Tofino-style):
+//!   every 1Pipe packet updates the barrier register of its input link and
+//!   has its barrier fields rewritten to the switch-wide minimum on egress
+//!   (eq. 4.1). Beacons are generated only on idle output links.
+//! * [`Incarnation::SwitchCpu`] — a commodity chip + switch CPU: data
+//!   packets are forwarded untouched; only beacons carry barrier
+//!   information, recomputed periodically by the CPU with a processing
+//!   delay, and sent on *every* output link each interval.
+//! * [`Incarnation::HostDelegate`] — beacon processing offloaded to an
+//!   end-host representative; same structure as the switch CPU but with a
+//!   different (often smaller, via RDMA) processing delay plus the
+//!   switch↔host round trip.
+//!
+//! The module also implements the decentralized failure detection of §4.2:
+//! an input link that carries neither data nor beacons for a timeout
+//! (default 10 beacon intervals) is removed from the best-effort minimum,
+//! and a [`SwitchEvent::InLinkDead`] is emitted for the controller, which
+//! later calls [`SwitchLogic::remove_commit_input`] (the Resume step of
+//! §5.2) to unblock the commit barrier as well.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod switch;
+
+pub use barrier::BarrierAggregator;
+pub use switch::{Incarnation, SwitchConfig, SwitchEvent, SwitchLogic, SwitchShared};

@@ -1,0 +1,97 @@
+//! Shared error type.
+
+use crate::ids::ProcessId;
+use crate::time::Timestamp;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by 1Pipe components.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A wire buffer was shorter than the structure being decoded.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Unknown opcode byte on the wire.
+    BadOpcode(u8),
+    /// The send buffer is full; the application should retry later
+    /// (paper §6.1: "If the send buffer is full, the send API returns fail").
+    SendBufferFull,
+    /// The destination process is not registered / unknown.
+    UnknownProcess(ProcessId),
+    /// The process has been declared failed by the controller and may no
+    /// longer send.
+    ProcessFailed(ProcessId),
+    /// A message could not be delivered; carried by the send-failure
+    /// callback of the best-effort service.
+    SendFailed {
+        /// Timestamp of the failed message.
+        ts: Timestamp,
+        /// Intended destination.
+        dst: ProcessId,
+    },
+    /// A reliable scattering was recalled (aborted) due to a receiver
+    /// failure before it could commit.
+    Recalled {
+        /// Timestamp of the recalled scattering.
+        ts: Timestamp,
+    },
+    /// The endpoint has been shut down.
+    Closed,
+    /// Transport-level I/O failure (UDP transport only).
+    Io(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated { needed, got } => {
+                write!(f, "truncated buffer: needed {needed} bytes, got {got}")
+            }
+            Error::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            Error::SendBufferFull => write!(f, "send buffer full"),
+            Error::UnknownProcess(p) => write!(f, "unknown process {p:?}"),
+            Error::ProcessFailed(p) => write!(f, "process {p:?} has failed"),
+            Error::SendFailed { ts, dst } => {
+                write!(f, "send of message ts={ts:?} to {dst:?} failed")
+            }
+            Error::Recalled { ts } => write!(f, "scattering ts={ts:?} was recalled"),
+            Error::Closed => write!(f, "endpoint closed"),
+            Error::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Truncated { needed: 24, got: 3 };
+        assert!(e.to_string().contains("24"));
+        assert!(e.to_string().contains("3"));
+        let e = Error::BadOpcode(0xFF);
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+}

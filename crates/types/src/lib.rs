@@ -1,0 +1,28 @@
+//! Common types for the 1Pipe reproduction: identifiers, 48-bit wrapping
+//! timestamps (with PAWS-style comparison), the 24-byte 1Pipe packet header,
+//! message and scattering types, and shared error definitions.
+//!
+//! Everything in this crate is transport- and simulator-agnostic: the
+//! endpoint library ([`onepipe-core`]), the network simulator
+//! ([`onepipe-netsim`]) and the real UDP transport ([`onepipe-udp`]) all
+//! speak these types.
+//!
+//! [`onepipe-core`]: ../onepipe_core/index.html
+//! [`onepipe-netsim`]: ../onepipe_netsim/index.html
+//! [`onepipe-udp`]: ../onepipe_udp/index.html
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod process_map;
+pub mod time;
+pub mod wire;
+
+pub use error::{Error, Result};
+pub use ids::{HostId, LinkId, NodeId, ProcessId, ScatteringId};
+pub use message::{Delivered, Message, OrderKey, Scattering};
+pub use process_map::ProcessMap;
+pub use time::{Duration, Timestamp};
+pub use wire::{Datagram, Flags, Opcode, PacketHeader, HEADER_LEN};

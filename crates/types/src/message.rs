@@ -1,0 +1,161 @@
+//! Application-level message and scattering types.
+
+use crate::ids::{ProcessId, ScatteringId};
+use crate::time::Timestamp;
+use bytes::Bytes;
+
+/// One message: a destination plus an opaque payload.
+///
+/// A unicast send is a scattering of size one; the paper's
+/// `onepipe_*_send(vec[<dst, msg>])` API takes a vector of these.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Message {
+    /// Destination process.
+    pub dst: ProcessId,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Convenience constructor.
+    pub fn new(dst: ProcessId, payload: impl Into<Bytes>) -> Self {
+        Message { dst, payload: payload.into() }
+    }
+}
+
+/// A scattering: a group of messages to different destinations that occupy
+/// the *same position* in the total order (all stamped with one timestamp).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scattering {
+    /// Unique id `(sender, sender-local seq)`.
+    pub id: ScatteringId,
+    /// The shared message timestamp; assigned at send time.
+    pub ts: Timestamp,
+    /// The member messages. Destinations may repeat (multiple messages to
+    /// the same receiver within one scattering are delivered in vec order).
+    pub messages: Vec<Message>,
+}
+
+impl Scattering {
+    /// Number of member messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when the scattering has no member messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Iterator over the distinct destinations.
+    pub fn destinations(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        let mut seen = Vec::new();
+        self.messages.iter().filter_map(move |m| {
+            if seen.contains(&m.dst) {
+                None
+            } else {
+                seen.push(m.dst);
+                Some(m.dst)
+            }
+        })
+    }
+}
+
+/// The total-order key: `(timestamp, sender)` — ties between timestamps are
+/// broken by sender id (paper §4.1: "ties are broken through sender ID"),
+/// and within one sender by the scattering sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct OrderKey {
+    /// The message timestamp.
+    pub ts: Timestamp,
+    /// The sending process (tie breaker).
+    pub sender: ProcessId,
+    /// Sender-local sequence (second tie breaker; a sender may emit several
+    /// scatterings with the same clock reading).
+    pub seq: u64,
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ts
+            .cmp(&other.ts)
+            .then(self.sender.cmp(&other.sender))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A message delivered to the application, in total order.
+///
+/// Corresponds to the paper's `TS, src, msg = onepipe_*_recv()`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Delivered {
+    /// The message timestamp (the scattering's position in the total order).
+    pub ts: Timestamp,
+    /// The sending process.
+    pub src: ProcessId,
+    /// Sender-local scattering sequence number.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Delivered {
+    /// The total-order key of this delivery.
+    pub fn order_key(&self) -> OrderKey {
+        OrderKey { ts: self.ts, sender: self.src, seq: self.seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_key_total_order() {
+        let a = OrderKey { ts: Timestamp::from_nanos(10), sender: ProcessId(2), seq: 0 };
+        let b = OrderKey { ts: Timestamp::from_nanos(10), sender: ProcessId(3), seq: 0 };
+        let c = OrderKey { ts: Timestamp::from_nanos(11), sender: ProcessId(1), seq: 0 };
+        let d = OrderKey { ts: Timestamp::from_nanos(10), sender: ProcessId(2), seq: 1 };
+        assert!(a < b); // tie broken by sender
+        assert!(b < c); // timestamp dominates
+        assert!(a < d); // tie broken by seq
+        assert!(d < b);
+    }
+
+    #[test]
+    fn scattering_destinations_dedup() {
+        let sc = Scattering {
+            id: ScatteringId { sender: ProcessId(0), seq: 0 },
+            ts: Timestamp::ZERO,
+            messages: vec![
+                Message::new(ProcessId(1), "a"),
+                Message::new(ProcessId(2), "b"),
+                Message::new(ProcessId(1), "c"),
+            ],
+        };
+        let dsts: Vec<_> = sc.destinations().collect();
+        assert_eq!(dsts, vec![ProcessId(1), ProcessId(2)]);
+        assert_eq!(sc.len(), 3);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn delivered_order_key_matches_fields() {
+        let d = Delivered {
+            ts: Timestamp::from_nanos(42),
+            src: ProcessId(5),
+            seq: 3,
+            payload: Bytes::from_static(b"x"),
+        };
+        let k = d.order_key();
+        assert_eq!(k.ts, Timestamp::from_nanos(42));
+        assert_eq!(k.sender, ProcessId(5));
+        assert_eq!(k.seq, 3);
+    }
+}

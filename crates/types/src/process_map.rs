@@ -1,0 +1,91 @@
+//! Registry mapping processes to the hosts they run on.
+
+use crate::ids::{HostId, ProcessId};
+
+/// Where each process lives. Switches route 1Pipe packets by looking up the
+/// destination process's host; the controller uses the same map to decide
+/// which processes die with a host or rack (§5.2).
+#[derive(Clone, Debug, Default)]
+pub struct ProcessMap {
+    host_of: Vec<HostId>,
+    /// processes_on[host] = list of processes placed there.
+    processes_on: Vec<Vec<ProcessId>>,
+}
+
+impl ProcessMap {
+    /// An empty registry over `num_hosts` hosts.
+    pub fn new(num_hosts: usize) -> Self {
+        ProcessMap { host_of: Vec::new(), processes_on: vec![Vec::new(); num_hosts] }
+    }
+
+    /// Place `n` processes round-robin across all hosts (the paper's
+    /// experimental setup: "each server hosts the same number of
+    /// processes"). Returns the created process ids.
+    pub fn place_round_robin(num_hosts: usize, n: usize) -> Self {
+        let mut map = Self::new(num_hosts);
+        for i in 0..n {
+            map.add_process(HostId((i % num_hosts) as u32));
+        }
+        map
+    }
+
+    /// Register a new process on `host`; returns its id.
+    pub fn add_process(&mut self, host: HostId) -> ProcessId {
+        let id = ProcessId(self.host_of.len() as u32);
+        self.host_of.push(host);
+        self.processes_on[host.0 as usize].push(id);
+        id
+    }
+
+    /// The host a process runs on.
+    pub fn host_of(&self, p: ProcessId) -> Option<HostId> {
+        self.host_of.get(p.0 as usize).copied()
+    }
+
+    /// Processes running on a host.
+    pub fn processes_on(&self, h: HostId) -> &[ProcessId] {
+        &self.processes_on[h.0 as usize]
+    }
+
+    /// Total number of processes.
+    pub fn len(&self) -> usize {
+        self.host_of.len()
+    }
+
+    /// True when no processes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.host_of.is_empty()
+    }
+
+    /// Iterator over all process ids.
+    pub fn all(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.host_of.len() as u32).map(ProcessId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_placement() {
+        let map = ProcessMap::place_round_robin(4, 10);
+        assert_eq!(map.len(), 10);
+        assert_eq!(map.host_of(ProcessId(0)), Some(HostId(0)));
+        assert_eq!(map.host_of(ProcessId(5)), Some(HostId(1)));
+        assert_eq!(map.processes_on(HostId(0)), &[ProcessId(0), ProcessId(4), ProcessId(8)]);
+        assert_eq!(map.processes_on(HostId(3)), &[ProcessId(3), ProcessId(7)]);
+    }
+
+    #[test]
+    fn unknown_process_is_none() {
+        let map = ProcessMap::new(2);
+        assert_eq!(map.host_of(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn all_iterates_everything() {
+        let map = ProcessMap::place_round_robin(2, 5);
+        assert_eq!(map.all().count(), 5);
+    }
+}

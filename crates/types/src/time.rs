@@ -1,0 +1,218 @@
+//! 48-bit wrapping nanosecond timestamps.
+//!
+//! The paper (§6.1) uses a 48-bit integer counting nanoseconds on the host
+//! and handles wrap-around with PAWS (RFC 1323): two timestamps are compared
+//! by the *sign of their difference* in the 48-bit ring, so ordering remains
+//! correct as long as two live timestamps are never more than half the ring
+//! (~39 hours) apart.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a 1Pipe timestamp.
+pub const TIMESTAMP_BITS: u32 = 48;
+
+/// Bit mask selecting the low 48 bits.
+pub const TIMESTAMP_MASK: u64 = (1 << TIMESTAMP_BITS) - 1;
+
+/// Half the timestamp ring; differences beyond this wrap negative.
+const HALF_RING: u64 = 1 << (TIMESTAMP_BITS - 1);
+
+/// A span of simulated or wall-clock time in nanoseconds.
+///
+/// Unlike [`Timestamp`] this does not wrap; it is used for intervals
+/// (beacon periods, RTTs, timeouts) which are always far below 2^48 ns.
+pub type Duration = u64;
+
+/// One microsecond in nanoseconds.
+pub const MICROS: Duration = 1_000;
+/// One millisecond in nanoseconds.
+pub const MILLIS: Duration = 1_000_000;
+/// One second in nanoseconds.
+pub const SECONDS: Duration = 1_000_000_000;
+
+/// A 48-bit wrapping nanosecond timestamp, ordered PAWS-style.
+///
+/// `Ord` is implemented with wrap-around semantics: `a < b` iff the signed
+/// 48-bit difference `b - a` is positive. This gives a total order on any
+/// window of timestamps narrower than half the ring, which is what both the
+/// paper's switches and receivers rely on.
+///
+/// ```
+/// use onepipe_types::time::{Timestamp, TIMESTAMP_MASK};
+/// let near_wrap = Timestamp::from_raw(TIMESTAMP_MASK - 10);
+/// let wrapped = near_wrap.saturating_add(100);
+/// assert!(near_wrap < wrapped); // ordering survives wrap-around
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp (start of the epoch / ring origin).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Construct from a raw nanosecond count, truncating to 48 bits.
+    #[inline]
+    pub const fn from_raw(ns: u64) -> Self {
+        Timestamp(ns & TIMESTAMP_MASK)
+    }
+
+    /// Construct from a nanosecond count that is known to fit in 48 bits.
+    ///
+    /// Identical to [`from_raw`](Self::from_raw); provided for call sites
+    /// that want to document the invariant.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self::from_raw(ns)
+    }
+
+    /// The raw 48-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Add a duration, wrapping in the 48-bit ring.
+    #[inline]
+    pub const fn wrapping_add(self, d: Duration) -> Self {
+        Timestamp((self.0.wrapping_add(d)) & TIMESTAMP_MASK)
+    }
+
+    /// Alias of [`wrapping_add`](Self::wrapping_add) — 48-bit addition never
+    /// overflows the underlying u64, it only wraps the ring.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Self {
+        self.wrapping_add(d)
+    }
+
+    /// Signed difference `self - other` interpreted in the 48-bit ring.
+    ///
+    /// Positive iff `self` is logically after `other`.
+    #[inline]
+    pub fn diff(self, other: Timestamp) -> i64 {
+        let d = self.0.wrapping_sub(other.0) & TIMESTAMP_MASK;
+        if d >= HALF_RING {
+            d as i64 - (1i64 << TIMESTAMP_BITS)
+        } else {
+            d as i64
+        }
+    }
+
+    /// Non-negative distance from `other` to `self`, assuming `self >= other`.
+    ///
+    /// Returns 0 when `self` is logically before `other`.
+    #[inline]
+    pub fn since(self, other: Timestamp) -> Duration {
+        let d = self.diff(other);
+        if d < 0 {
+            0
+        } else {
+            d as u64
+        }
+    }
+
+    /// The later of two timestamps in ring order.
+    #[inline]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self < other {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two timestamps in ring order.
+    #[inline]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for Timestamp {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.diff(*other).cmp(&0)
+    }
+}
+
+impl std::fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ts({}ns)", self.0)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= SECONDS {
+            write!(f, "{:.6}s", self.0 as f64 / SECONDS as f64)
+        } else if self.0 >= MICROS {
+            write!(f, "{:.3}us", self.0 as f64 / MICROS as f64)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = Timestamp::from_nanos(100);
+        let b = Timestamp::from_nanos(200);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a, Timestamp::from_nanos(100));
+        assert_eq!(b.since(a), 100);
+        assert_eq!(a.since(b), 0);
+    }
+
+    #[test]
+    fn wrap_around_ordering() {
+        let a = Timestamp::from_raw(TIMESTAMP_MASK - 5);
+        let b = a.wrapping_add(10); // wraps past zero
+        assert!(a < b);
+        assert_eq!(b.raw(), 4);
+        assert_eq!(b.since(a), 10);
+        assert_eq!(a.diff(b), -10);
+    }
+
+    #[test]
+    fn diff_is_antisymmetric() {
+        let a = Timestamp::from_nanos(1_000_000);
+        let b = Timestamp::from_nanos(2_500_000);
+        assert_eq!(a.diff(b), -b.diff(a));
+    }
+
+    #[test]
+    fn min_max_respect_ring_order() {
+        let a = Timestamp::from_raw(TIMESTAMP_MASK - 1);
+        let b = a.wrapping_add(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn truncates_to_48_bits() {
+        let t = Timestamp::from_raw(u64::MAX);
+        assert_eq!(t.raw(), TIMESTAMP_MASK);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Timestamp::from_nanos(500)), "500ns");
+        assert_eq!(format!("{}", Timestamp::from_nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", Timestamp::from_nanos(2_000_000_000)), "2.000000s");
+    }
+}

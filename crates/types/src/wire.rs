@@ -1,0 +1,349 @@
+//! The 1Pipe wire format.
+//!
+//! Paper §6.1: "A UD packet in 1Pipe adds 24 bytes of headers: 3 timestamps
+//! including message, best-effort barrier, and commit barrier; PSN; an
+//! opcode and a flag that marks end of message. A timestamp is a 48-bit
+//! integer."
+//!
+//! [`PacketHeader`] is exactly that 24-byte header. [`Datagram`] wraps it
+//! with endpoint addressing (source/destination process) for transports
+//! that need self-contained packets (the UDP transport, pcap-style traces).
+
+use crate::ids::ProcessId;
+use crate::time::Timestamp;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Encoded size of [`PacketHeader`] in bytes (3×6 TS + 4 PSN + 1 op + 1 flags).
+pub const HEADER_LEN: usize = 24;
+
+/// Encoded size of the [`Datagram`] addressing prologue (src + dst + len).
+pub const ADDR_LEN: usize = 4 + 4 + 4;
+
+/// Packet type discriminator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Best-effort data packet; barriers are aggregated in-network.
+    Data = 0,
+    /// Reliable-service data packet (Prepare phase of 2PC). Switches do NOT
+    /// aggregate the best-effort barrier for these (§5.1).
+    DataReliable = 1,
+    /// End-to-end acknowledgement of a reliable data packet.
+    Ack = 2,
+    /// Negative acknowledgement: the packet arrived below the receiver's
+    /// delivered barrier and was dropped (§4.1).
+    Nak = 3,
+    /// Hop-by-hop beacon carrying barrier timestamps on idle links (§4.2).
+    Beacon = 4,
+    /// Commit message from a sender to its first-hop switch, carrying the
+    /// commit barrier (§5.1, Figure 6).
+    Commit = 5,
+    /// Recall of a scattering whose delivery must be aborted (§5.2).
+    Recall = 6,
+    /// Acknowledgement of a [`Opcode::Recall`].
+    RecallAck = 7,
+    /// Controller-plane message; the payload carries the protocol body.
+    Control = 8,
+}
+
+impl Opcode {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            0 => Opcode::Data,
+            1 => Opcode::DataReliable,
+            2 => Opcode::Ack,
+            3 => Opcode::Nak,
+            4 => Opcode::Beacon,
+            5 => Opcode::Commit,
+            6 => Opcode::Recall,
+            7 => Opcode::RecallAck,
+            8 => Opcode::Control,
+            _ => return None,
+        })
+    }
+
+    /// True for packets that carry application payload and therefore occupy
+    /// a position in the total order.
+    pub fn is_data(self) -> bool {
+        matches!(self, Opcode::Data | Opcode::DataReliable)
+    }
+}
+
+/// Tiny local bitflags implementation so we do not pull in the `bitflags`
+/// crate for one type.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $( $(#[$fmeta:meta])* const $flag:ident = $value:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        pub struct $name($ty);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($value); )*
+
+            /// No flags set.
+            pub const fn empty() -> Self { $name(0) }
+            /// Raw bit pattern.
+            pub const fn bits(self) -> $ty { self.0 }
+            /// Reconstruct from raw bits (unknown bits preserved).
+            pub const fn from_bits(bits: $ty) -> Self { $name(bits) }
+            /// Whether every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                (self.0 & other.0) == other.0
+            }
+            /// Set the bits of `other`.
+            pub fn insert(&mut self, other: $name) { self.0 |= other.0; }
+            /// Clear the bits of `other`.
+            pub fn remove(&mut self, other: $name) { self.0 &= !other.0; }
+            /// Union of the two flag sets.
+            pub const fn union(self, other: $name) -> $name { $name(self.0 | other.0) }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "Flags({:#010b})", self.0)
+            }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Per-packet flag bits.
+    pub struct Flags: u8 {
+        /// Last fragment of a message (paper's "end of message" flag).
+        const END_OF_MESSAGE = 0b0000_0001;
+        /// ECN congestion-experienced mark (set by switches, echoed in ACKs).
+        const ECN = 0b0000_0010;
+        /// This packet is a retransmission.
+        const RETRANSMIT = 0b0000_0100;
+        /// The message belongs to a multi-destination scattering.
+        const SCATTERING = 0b0000_1000;
+    }
+}
+
+/// The 24-byte 1Pipe packet header (paper §6.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PacketHeader {
+    /// Message timestamp, set by the sender, never modified in flight.
+    pub msg_ts: Timestamp,
+    /// Best-effort barrier timestamp, rewritten hop-by-hop per eq. (4.1).
+    pub barrier: Timestamp,
+    /// Commit barrier timestamp for the reliable service, also rewritten
+    /// hop-by-hop.
+    pub commit_barrier: Timestamp,
+    /// Packet sequence number, used for loss detection and defragmentation.
+    pub psn: u32,
+    /// Packet type.
+    pub opcode: Opcode,
+    /// Flag bits.
+    pub flags: Flags,
+}
+
+impl PacketHeader {
+    /// A header with all timestamps equal to `ts` — how senders initialize
+    /// data packets (§4.1: "the sender initializes both fields ... with the
+    /// non-decreasing message timestamp").
+    pub fn data(ts: Timestamp, psn: u32, flags: Flags) -> Self {
+        PacketHeader {
+            msg_ts: ts,
+            barrier: ts,
+            commit_barrier: Timestamp::ZERO,
+            psn,
+            opcode: Opcode::Data,
+            flags,
+        }
+    }
+
+    /// Serialize into `buf` (appends exactly [`HEADER_LEN`] bytes).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_uint(self.msg_ts.raw(), 6);
+        buf.put_uint(self.barrier.raw(), 6);
+        buf.put_uint(self.commit_barrier.raw(), 6);
+        buf.put_u32(self.psn);
+        buf.put_u8(self.opcode as u8);
+        buf.put_u8(self.flags.bits());
+    }
+
+    /// Deserialize from `buf`, consuming exactly [`HEADER_LEN`] bytes.
+    pub fn decode(buf: &mut impl Buf) -> crate::Result<Self> {
+        if buf.remaining() < HEADER_LEN {
+            return Err(crate::Error::Truncated {
+                needed: HEADER_LEN,
+                got: buf.remaining(),
+            });
+        }
+        let msg_ts = Timestamp::from_raw(buf.get_uint(6));
+        let barrier = Timestamp::from_raw(buf.get_uint(6));
+        let commit_barrier = Timestamp::from_raw(buf.get_uint(6));
+        let psn = buf.get_u32();
+        let op = buf.get_u8();
+        let opcode = Opcode::from_u8(op).ok_or(crate::Error::BadOpcode(op))?;
+        let flags = Flags::from_bits(buf.get_u8());
+        Ok(PacketHeader { msg_ts, barrier, commit_barrier, psn, opcode, flags })
+    }
+}
+
+/// A self-contained packet: addressing + 1Pipe header + payload.
+///
+/// This is what travels through the simulator and over the UDP transport.
+/// In the real system the addressing would live in the RDMA UD / IP headers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Datagram {
+    /// Sending process.
+    pub src: ProcessId,
+    /// Destination process.
+    pub dst: ProcessId,
+    /// The 24-byte 1Pipe header.
+    pub header: PacketHeader,
+    /// Application payload (empty for beacons/ACKs/control skeletons).
+    pub payload: Bytes,
+}
+
+impl Datagram {
+    /// Total encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        ADDR_LEN + HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32(self.src.0);
+        buf.put_u32(self.dst.0);
+        buf.put_u32(self.payload.len() as u32);
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Deserialize from a buffer produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: Bytes) -> crate::Result<Self> {
+        if buf.remaining() < ADDR_LEN + HEADER_LEN {
+            return Err(crate::Error::Truncated {
+                needed: ADDR_LEN + HEADER_LEN,
+                got: buf.remaining(),
+            });
+        }
+        let src = ProcessId(buf.get_u32());
+        let dst = ProcessId(buf.get_u32());
+        let len = buf.get_u32() as usize;
+        let header = PacketHeader::decode(&mut buf)?;
+        if buf.remaining() < len {
+            return Err(crate::Error::Truncated { needed: len, got: buf.remaining() });
+        }
+        let payload = buf.split_to(len);
+        Ok(Datagram { src, dst, header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> PacketHeader {
+        PacketHeader {
+            msg_ts: Timestamp::from_nanos(123_456_789),
+            barrier: Timestamp::from_nanos(123_000_000),
+            commit_barrier: Timestamp::from_nanos(122_000_000),
+            psn: 0xDEAD_BEEF,
+            opcode: Opcode::DataReliable,
+            flags: Flags::END_OF_MESSAGE | Flags::SCATTERING,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let decoded = PacketHeader::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn header_is_exactly_24_bytes() {
+        // The paper's claim: 24 bytes of overhead per UD packet.
+        let mut buf = BytesMut::new();
+        sample_header().encode(&mut buf);
+        assert_eq!(buf.len(), 24);
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let d = Datagram {
+            src: ProcessId(7),
+            dst: ProcessId(9),
+            header: sample_header(),
+            payload: Bytes::from_static(b"hello 1pipe"),
+        };
+        let encoded = d.encode();
+        assert_eq!(encoded.len(), d.encoded_len());
+        let decoded = Datagram::decode(encoded).unwrap();
+        assert_eq!(decoded, d);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut buf = BytesMut::new();
+        sample_header().encode(&mut buf);
+        let mut short = buf.freeze().slice(0..10);
+        assert!(matches!(
+            PacketHeader::decode(&mut short),
+            Err(crate::Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut buf = BytesMut::new();
+        sample_header().encode(&mut buf);
+        let mut bytes = buf.to_vec();
+        bytes[22] = 0xFF; // opcode byte
+        assert!(matches!(
+            PacketHeader::decode(&mut Bytes::from(bytes)),
+            Err(crate::Error::BadOpcode(0xFF))
+        ));
+    }
+
+    #[test]
+    fn flags_ops() {
+        let mut f = Flags::empty();
+        assert!(!f.contains(Flags::ECN));
+        f.insert(Flags::ECN);
+        f.insert(Flags::RETRANSMIT);
+        assert!(f.contains(Flags::ECN | Flags::RETRANSMIT));
+        f.remove(Flags::ECN);
+        assert!(!f.contains(Flags::ECN));
+        assert!(f.contains(Flags::RETRANSMIT));
+    }
+
+    #[test]
+    fn opcode_roundtrip_all() {
+        for v in 0u8..=8 {
+            let op = Opcode::from_u8(v).unwrap();
+            assert_eq!(op as u8, v);
+        }
+        assert!(Opcode::from_u8(9).is_none());
+    }
+
+    #[test]
+    fn is_data_classification() {
+        assert!(Opcode::Data.is_data());
+        assert!(Opcode::DataReliable.is_data());
+        assert!(!Opcode::Beacon.is_data());
+        assert!(!Opcode::Ack.is_data());
+        assert!(!Opcode::Commit.is_data());
+    }
+}

@@ -1,0 +1,501 @@
+//! Real UDP transport for 1Pipe.
+//!
+//! Runs the sans-io [`Endpoint`] state machine over genuine
+//! `std::net::UdpSocket`s, demonstrating that the library is not tied to
+//! the simulator. The deployment shape mirrors the paper's host-delegation
+//! mode (§6.2.3) collapsed to one rack:
+//!
+//! * every process is a [`UdpProcess`]: a socket + a driver thread that
+//!   pumps the endpoint (incoming datagrams, timers, beacons);
+//! * a *soft switch* process plays the ToR: it forwards datagrams between
+//!   processes, aggregates barrier timestamps per input link with the
+//!   same [`BarrierAggregator`] the simulated switches use, and beacons
+//!   every interval.
+//!
+//! Timestamps come from a shared monotonic epoch (`Instant`), so all
+//! processes in one [`UdpCluster`] share a perfectly synchronized clock —
+//! the single-machine analogue of PTP.
+//!
+//! This transport is for demonstration and integration testing (see
+//! `examples/udp_live.rs`); the experiments use the deterministic
+//! simulator.
+//!
+//! [`Endpoint`]: onepipe_core::endpoint::Endpoint
+//! [`BarrierAggregator`]: onepipe_switchlogic::barrier::BarrierAggregator
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use onepipe_core::config::EndpointConfig;
+use onepipe_core::endpoint::{Endpoint, HOP_LOCAL};
+use onepipe_core::events::UserEvent;
+use onepipe_switchlogic::barrier::BarrierAggregator;
+use onepipe_types::ids::{NodeId, ProcessId};
+use onepipe_types::message::{Delivered, Message};
+use onepipe_types::time::{Duration as NsDuration, Timestamp, MICROS};
+use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Commands from the application to a process driver thread.
+enum Cmd {
+    Send { msgs: Vec<Message>, reliable: bool },
+    SendRaw { to: ProcessId, payload: bytes::Bytes },
+}
+
+/// Handle to one live 1Pipe process.
+pub struct UdpProcess {
+    id: ProcessId,
+    cmd_tx: Sender<Cmd>,
+    delivered_rx: Receiver<(Delivered, bool)>,
+    events_rx: Receiver<UserEvent>,
+    raw_rx: Receiver<(ProcessId, bytes::Bytes)>,
+}
+
+impl UdpProcess {
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Submit a best-effort scattering.
+    pub fn send_unreliable(&self, msgs: Vec<Message>) {
+        let _ = self.cmd_tx.send(Cmd::Send { msgs, reliable: false });
+    }
+
+    /// Submit a reliable scattering.
+    pub fn send_reliable(&self, msgs: Vec<Message>) {
+        let _ = self.cmd_tx.send(Cmd::Send { msgs, reliable: true });
+    }
+
+    /// Send a raw (unordered) message.
+    pub fn send_raw(&self, to: ProcessId, payload: impl Into<bytes::Bytes>) {
+        let _ = self.cmd_tx.send(Cmd::SendRaw { to, payload: payload.into() });
+    }
+
+    /// Blocking receive of the next ordered delivery; the flag is `true`
+    /// for the reliable channel.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(Delivered, bool)> {
+        self.delivered_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking drain of pending deliveries.
+    pub fn try_recv_all(&self) -> Vec<(Delivered, bool)> {
+        self.delivered_rx.try_iter().collect()
+    }
+
+    /// Drain pending user events.
+    pub fn try_events(&self) -> Vec<UserEvent> {
+        self.events_rx.try_iter().collect()
+    }
+
+    /// Drain pending raw messages.
+    pub fn try_raw(&self) -> Vec<(ProcessId, bytes::Bytes)> {
+        self.raw_rx.try_iter().collect()
+    }
+}
+
+/// A live single-rack 1Pipe deployment over UDP loopback.
+pub struct UdpCluster {
+    processes: Vec<UdpProcess>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl UdpCluster {
+    /// Spin up `n` processes plus the soft switch on 127.0.0.1.
+    pub fn new(n: usize, cfg: EndpointConfig) -> std::io::Result<UdpCluster> {
+        Self::with_beacon_interval(n, cfg, 100 * MICROS)
+    }
+
+    /// Like [`new`](Self::new) with a custom beacon interval (loopback
+    /// scheduling granularity is coarser than a real NIC, so the default
+    /// interval is 100 µs rather than the testbed's 3 µs).
+    pub fn with_beacon_interval(
+        n: usize,
+        mut cfg: EndpointConfig,
+        beacon_interval: NsDuration,
+    ) -> std::io::Result<UdpCluster> {
+        // Only beacons carry trustworthy barriers over this transport
+        // (host-delegation mode).
+        cfg.trust_data_barriers = false;
+        // Loopback thread scheduling is millisecond-scale; the simulator
+        // defaults (hundreds of µs) would misfire constantly.
+        cfg.rto = cfg.rto.max(20_000_000);
+        cfg.be_ack_timeout = cfg.be_ack_timeout.max(100_000_000);
+        let epoch = Instant::now();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Bind sockets first so everyone knows everyone's address.
+        let switch_sock = UdpSocket::bind("127.0.0.1:0")?;
+        let switch_addr = switch_sock.local_addr()?;
+        let mut proc_socks = Vec::new();
+        let mut proc_addrs = Vec::new();
+        for _ in 0..n {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            proc_addrs.push(s.local_addr()?);
+            proc_socks.push(s);
+        }
+
+        // The soft switch thread.
+        {
+            let stop = stop.clone();
+            let addrs = proc_addrs.clone();
+            threads.push(std::thread::spawn(move || {
+                run_soft_switch(switch_sock, addrs, epoch, beacon_interval, stop);
+            }));
+        }
+
+        // One driver thread per process.
+        let mut processes = Vec::new();
+        for (i, sock) in proc_socks.into_iter().enumerate() {
+            let id = ProcessId(i as u32);
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (del_tx, del_rx) = unbounded();
+            let (ev_tx, ev_rx) = unbounded();
+            let (raw_tx, raw_rx) = unbounded();
+            let stop = stop.clone();
+            let cfg_i = cfg;
+            threads.push(std::thread::spawn(move || {
+                run_process(
+                    id,
+                    sock,
+                    switch_addr,
+                    epoch,
+                    beacon_interval,
+                    cfg_i,
+                    cmd_rx,
+                    del_tx,
+                    ev_tx,
+                    raw_tx,
+                    stop,
+                );
+            }));
+            processes.push(UdpProcess { id, cmd_tx, delivered_rx: del_rx, events_rx: ev_rx, raw_rx });
+        }
+
+        Ok(UdpCluster { processes, stop, threads })
+    }
+
+    /// Handle to process `i`.
+    pub fn process(&self, i: usize) -> &UdpProcess {
+        &self.processes[i]
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True when the cluster has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Stop all threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpCluster {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// The ToR stand-in: forwards datagrams and aggregates barriers.
+fn run_soft_switch(
+    sock: UdpSocket,
+    proc_addrs: Vec<SocketAddr>,
+    epoch: Instant,
+    beacon_interval: NsDuration,
+    stop: Arc<AtomicBool>,
+) {
+    sock.set_read_timeout(Some(Duration::from_micros(50))).ok();
+    // One "input link" per process: NodeId(i) == ProcessId(i)'s link.
+    let inputs: Vec<NodeId> = (0..proc_addrs.len() as u32).map(NodeId).collect();
+    let mut agg = BarrierAggregator::new(inputs);
+    let mut buf = [0u8; 65536];
+    let mut next_beacon = 0u64;
+    let mut last_dbg = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        // Drain the whole queue before beaconing: a beacon emitted while
+        // data is still queued behind it would overtake that data and
+        // break the per-link FIFO property barriers rely on.
+        // Bounded by the beacon deadline: on a loaded single-core machine
+        // packets can arrive continuously and an unbounded drain would
+        // starve beacon emission entirely. Emitting mid-queue is safe:
+        // the registers reflect only *processed* packets, and any queued
+        // data from a host was stamped before the host's last processed
+        // beacon was sent (per-link FIFO, §4.1).
+        let mut first = true;
+        loop {
+            let now = now_ns(epoch);
+            if !first && now >= next_beacon {
+                break;
+            }
+            let r = if first { sock.recv_from(&mut buf) } else {
+                sock.set_read_timeout(Some(Duration::from_micros(1))).ok();
+                let r = sock.recv_from(&mut buf);
+                sock.set_read_timeout(Some(Duration::from_micros(50))).ok();
+                r
+            };
+            first = false;
+            let Ok((len, _from)) = r else { break };
+            let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
+            else {
+                continue;
+            };
+            let link = NodeId(d.src.0);
+            match d.header.opcode {
+                Opcode::Beacon => {
+                    agg.observe_be(link, d.header.barrier, now);
+                    agg.observe_commit(link, d.header.commit_barrier, now);
+                }
+                Opcode::Commit => {
+                    agg.observe_commit(link, d.header.commit_barrier, now);
+                }
+                _ => {
+                    // Forward by destination process (data plane).
+                    if let Some(addr) = proc_addrs.get(d.dst.0 as usize) {
+                        let _ = sock.send_to(&d.encode(), addr);
+                    }
+                }
+            }
+        }
+        let now = now_ns(epoch);
+        if now >= next_beacon {
+            next_beacon = now + beacon_interval;
+            let be = agg.out_be();
+            let commit = agg.out_commit();
+            if std::env::var("ONEPIPE_UDP_DEBUG").is_ok() && now > last_dbg + 500_000_000 {
+                last_dbg = now;
+                let regs: Vec<_> = (0..proc_addrs.len() as u32)
+                    .map(|i| agg.register_be(NodeId(i)))
+                    .collect();
+                eprintln!("SWITCH t={}ms out_be={:?} regs={:?}", now / 1_000_000, be, regs);
+            }
+            let beacon = Datagram {
+                src: HOP_LOCAL,
+                dst: HOP_LOCAL,
+                header: PacketHeader {
+                    msg_ts: Timestamp::ZERO,
+                    barrier: be,
+                    commit_barrier: commit,
+                    psn: 0,
+                    opcode: Opcode::Beacon,
+                    flags: Flags::empty(),
+                },
+                payload: bytes::Bytes::new(),
+            };
+            let encoded = beacon.encode();
+            for addr in &proc_addrs {
+                let _ = sock.send_to(&encoded, addr);
+            }
+        }
+    }
+}
+
+/// One process: pumps its endpoint against the socket.
+#[allow(clippy::too_many_arguments)]
+fn run_process(
+    id: ProcessId,
+    sock: UdpSocket,
+    switch_addr: SocketAddr,
+    epoch: Instant,
+    beacon_interval: NsDuration,
+    cfg: EndpointConfig,
+    cmd_rx: Receiver<Cmd>,
+    del_tx: Sender<(Delivered, bool)>,
+    ev_tx: Sender<UserEvent>,
+    raw_tx: Sender<(ProcessId, bytes::Bytes)>,
+    stop: Arc<AtomicBool>,
+) {
+    sock.set_read_timeout(Some(Duration::from_micros(50))).ok();
+    let mut ep = Endpoint::new(id, cfg);
+    let mut buf = [0u8; 65536];
+    let mut next_beacon = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        let now = Timestamp::from_raw(now_ns(epoch));
+        // Application commands.
+        for cmd in cmd_rx.try_iter() {
+            match cmd {
+                Cmd::Send { msgs, reliable } => {
+                    let r = if reliable {
+                        ep.send_reliable(now, msgs)
+                    } else {
+                        ep.send_unreliable(now, msgs)
+                    };
+                    let _ = r;
+                }
+                Cmd::SendRaw { to, payload } => ep.send_raw(to, payload),
+            }
+        }
+        // Incoming datagrams.
+        if let Ok((len, _)) = sock.recv_from(&mut buf) {
+            if let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
+                if d.header.opcode == Opcode::Control {
+                    let _ = raw_tx.send((d.src, d.payload));
+                } else {
+                    ep.handle_datagram(Timestamp::from_raw(now_ns(epoch)), d);
+                }
+            }
+        }
+        let now = Timestamp::from_raw(now_ns(epoch));
+        ep.poll(now);
+        // Flush queued data FIRST: the host beacon advertises the clock as
+        // a lower bound on *future* message timestamps, so it must never
+        // overtake already-stamped packets still sitting in the endpoint's
+        // output queue (FIFO on the host→switch link, §4.1).
+        while let Some(mut d) = ep.poll_transmit() {
+            if d.dst == HOP_LOCAL && d.header.opcode == Opcode::Commit {
+                d.src = id;
+            }
+            let _ = sock.send_to(&d.encode(), switch_addr);
+        }
+        // Host beacon toward the switch.
+        if now.raw() >= next_beacon {
+            next_beacon = now.raw() + beacon_interval;
+            let be = ep.be_contribution(now);
+            let commit = ep.commit_contribution(now);
+            let beacon = Datagram {
+                src: id,
+                dst: HOP_LOCAL,
+                header: PacketHeader {
+                    msg_ts: Timestamp::ZERO,
+                    barrier: be,
+                    commit_barrier: commit,
+                    psn: 0,
+                    opcode: Opcode::Beacon,
+                    flags: Flags::empty(),
+                },
+                payload: bytes::Bytes::new(),
+            };
+            let _ = sock.send_to(&beacon.encode(), switch_addr);
+        }
+        if std::env::var("ONEPIPE_UDP_DEBUG").is_ok() {
+            let (be, _c) = ep.barriers();
+            let n = now_ns(epoch);
+            if n / 500_000_000 != (n.saturating_sub(1_000_000)) / 500_000_000 {
+                eprintln!(
+                    "PROC {:?} t={}ms be_barrier={:?} delivered={} late={} buffered={}",
+                    id, n / 1_000_000, be, ep.stats.delivered_be, ep.stats.late_drops,
+                    ep.buffered_bytes()
+                );
+            }
+        }
+        // Deliveries and events to the application.
+        while let Some(m) = ep.recv_unreliable() {
+            let _ = del_tx.send((m, false));
+        }
+        while let Some(m) = ep.recv_reliable() {
+            let _ = del_tx.send((m, true));
+        }
+        while let Some(ev) = ep.poll_event() {
+            let _ = ev_tx.send(ev);
+        }
+        while ep.poll_ctrl().is_some() { /* no controller on this transport */ }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each test spawns several busy threads; running clusters
+    /// concurrently starves them on small CI machines. Serialize.
+    static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn udp_best_effort_total_order() {
+        let _guard = TEST_LOCK.lock();
+        let cluster = UdpCluster::new(3, EndpointConfig::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // barriers start
+        // Processes 0 and 1 both scatter to receiver 2.
+        for round in 0..10 {
+            cluster.process(0).send_unreliable(vec![Message::new(
+                ProcessId(2),
+                format!("a{round}"),
+            )]);
+            cluster.process(1).send_unreliable(vec![Message::new(
+                ProcessId(2),
+                format!("b{round}"),
+            )]);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 20 && Instant::now() < deadline {
+            if let Some((m, reliable)) = cluster.process(2).recv_timeout(Duration::from_millis(100)) {
+                assert!(!reliable);
+                got.push(m);
+            }
+        }
+        // Best effort is at-most-once: scheduling hiccups on loopback can
+        // legitimately drop messages, but never reorder them.
+        if got.len() < 16 {
+            let e0 = cluster.process(0).try_events();
+            let e1 = cluster.process(1).try_events();
+            panic!(
+                "too many losses: {}/20; sender events: p0={:?} p1={:?}",
+                got.len(),
+                e0,
+                e1
+            );
+        }
+        for w in got.windows(2) {
+            assert!(w[0].order_key() <= w[1].order_key(), "order violated");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_reliable_delivery() {
+        let _guard = TEST_LOCK.lock();
+        let cluster = UdpCluster::new(2, EndpointConfig::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        cluster
+            .process(0)
+            .send_reliable(vec![Message::new(ProcessId(1), "guaranteed")]);
+        let got = cluster
+            .process(1)
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reliable delivery");
+        assert!(got.1, "came in on the reliable channel");
+        assert_eq!(got.0.payload, bytes::Bytes::from_static(b"guaranteed"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_raw_messages() {
+        let _guard = TEST_LOCK.lock();
+        let cluster = UdpCluster::new(2, EndpointConfig::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.process(0).send_raw(ProcessId(1), "rpc");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut raws = Vec::new();
+        while raws.is_empty() && Instant::now() < deadline {
+            raws = cluster.process(1).try_raw();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].0, ProcessId(0));
+        assert_eq!(raws[0].1, bytes::Bytes::from_static(b"rpc"));
+        cluster.shutdown();
+    }
+}

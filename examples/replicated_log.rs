@@ -1,0 +1,150 @@
+//! 1-RTT replication (paper §2.2.2).
+//!
+//! Multiple clients append entries to a log replicated on three replica
+//! processes — with *no* leader and *no* serialization round: each client
+//! scatters its entry directly to all replicas using the best-effort
+//! service, the network's total order makes every replica's log identical,
+//! and per-replica running checksums returned on the (unordered) reply
+//! path let clients verify replication succeeded — the paper's recipe for
+//! replication in 1 RTT.
+//!
+//! Run with: `cargo run --example replicated_log`
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use onepipe::service::harness::{Cluster, ClusterConfig};
+use onepipe::service::simhost::{AppHook, SendQueue};
+use onepipe::types::ids::{HostId, ProcessId};
+use onepipe::types::message::{Delivered, Message};
+use onepipe::types::time::MICROS;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const REPLICAS: u32 = 3;
+const CLIENTS: u32 = 4;
+const ENTRIES_PER_CLIENT: u64 = 50;
+
+struct ReplicatedLog {
+    /// Per-replica log of (client, entry-id), in delivery order.
+    logs: Vec<Vec<(u32, u64)>>,
+    /// Per-replica running checksum.
+    checksums: Vec<u64>,
+    /// Client state: next entry id and acks[entry] -> checksums received.
+    next_entry: HashMap<ProcessId, u64>,
+    acks: HashMap<(u32, u64), Vec<u64>>,
+    confirmed: u64,
+    mismatches: u64,
+}
+
+impl ReplicatedLog {
+    fn new() -> Self {
+        ReplicatedLog {
+            logs: vec![Vec::new(); REPLICAS as usize],
+            checksums: vec![0; REPLICAS as usize],
+            next_entry: HashMap::new(),
+            acks: HashMap::new(),
+            confirmed: 0,
+            mismatches: 0,
+        }
+    }
+}
+
+impl AppHook for ReplicatedLog {
+    fn on_delivery(
+        &mut self,
+        _now: u64,
+        receiver: ProcessId,
+        msg: &Delivered,
+        _reliable: bool,
+        out: &mut SendQueue,
+    ) {
+        let r = receiver.0 as usize;
+        let mut p = msg.payload.clone();
+        if p.remaining() < 8 {
+            return;
+        }
+        let entry = p.get_u64();
+        self.logs[r].push((msg.src.0, entry));
+        // §2.2.2: "When a replica receives a message, it adds the message
+        // timestamp to the checksum, and returns the checksum".
+        self.checksums[r] = self.checksums[r]
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(msg.ts.raw())
+            .wrapping_add(msg.src.0 as u64);
+        let mut b = BytesMut::new();
+        b.put_u64(entry);
+        b.put_u64(self.checksums[r]);
+        out.push_raw(receiver, msg.src, b.freeze());
+    }
+
+    fn on_raw(
+        &mut self,
+        _now: u64,
+        receiver: ProcessId,
+        _src: ProcessId,
+        payload: &Bytes,
+        _out: &mut SendQueue,
+    ) {
+        // Client: collect the three checksums for an entry.
+        let mut p = payload.clone();
+        if p.remaining() < 16 {
+            return;
+        }
+        let entry = p.get_u64();
+        let checksum = p.get_u64();
+        let acks = self.acks.entry((receiver.0, entry)).or_default();
+        acks.push(checksum);
+        if acks.len() == REPLICAS as usize {
+            // "If a client sees all checksums are equal from the
+            // responses, the logs of replicas are consistent at least
+            // until the client's log message."
+            if acks.windows(2).all(|w| w[0] == w[1]) {
+                self.confirmed += 1;
+            } else {
+                self.mismatches += 1;
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _now: u64, _host: HostId, procs: &[ProcessId], out: &mut SendQueue) {
+        for &p in procs {
+            if p.0 < REPLICAS {
+                continue;
+            }
+            let next = self.next_entry.entry(p).or_insert(0);
+            if *next >= ENTRIES_PER_CLIENT {
+                continue;
+            }
+            let entry = *next;
+            *next += 1;
+            let mut b = BytesMut::new();
+            b.put_u64(entry);
+            let payload = b.freeze();
+            let msgs: Vec<Message> = (0..REPLICAS)
+                .map(|r| Message::new(ProcessId(r), payload.clone()))
+                .collect();
+            // Best-effort: replication completes in ONE round trip.
+            out.push(p, msgs, false);
+        }
+    }
+}
+
+fn main() {
+    let mut cluster =
+        Cluster::new(ClusterConfig::testbed((REPLICAS + CLIENTS) as usize));
+    let log = Rc::new(RefCell::new(ReplicatedLog::new()));
+    cluster.set_app(log.clone());
+    cluster.run_for(5_000 * MICROS);
+
+    let log = log.borrow();
+    println!("entries per replica: {:?}", log.logs.iter().map(|l| l.len()).collect::<Vec<_>>());
+    println!("confirmed (all checksums equal): {}", log.confirmed);
+    println!("checksum mismatches:             {}", log.mismatches);
+    // All replicas hold the SAME log, in the same order.
+    assert_eq!(log.logs[0], log.logs[1]);
+    assert_eq!(log.logs[1], log.logs[2]);
+    assert_eq!(log.mismatches, 0);
+    assert_eq!(log.confirmed, (CLIENTS as u64) * ENTRIES_PER_CLIENT);
+    println!("\nall {} entries replicated identically in 1 RTT each — no leader needed.",
+        log.logs[0].len());
+}

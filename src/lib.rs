@@ -1,0 +1,24 @@
+//! # onepipe — umbrella crate
+//!
+//! Re-exports the whole 1Pipe workspace behind one dependency, and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! 1Pipe (Li, Zuo, Bai, Zhang — SIGCOMM 2021) is a communication
+//! abstraction that delivers unicast messages and *scatterings* (groups of
+//! messages to different destinations sharing one position in the total
+//! order) to all receivers in a single, consistent, causally-compatible
+//! total order.
+//!
+//! Start with [`sim`] to build a simulated data center and [`service`] for
+//! the endpoint API; see `examples/quickstart.rs` for a complete program.
+
+pub use onepipe_apps as apps;
+pub use onepipe_baselines as baselines;
+pub use onepipe_clock as clock;
+pub use onepipe_controller as controller;
+pub use onepipe_core as service;
+pub use onepipe_netsim as sim;
+pub use onepipe_switchlogic as switchlogic;
+pub use onepipe_types as types;
+pub use onepipe_udp as udp;
