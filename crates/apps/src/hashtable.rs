@@ -211,10 +211,8 @@ impl HtApp {
         };
         let id = self.next_op;
         self.next_op += 1;
-        self.ops.insert(
-            id,
-            Op { client, kind, key, start: now, awaiting: 0, pointer_phase: false },
-        );
+        self.ops
+            .insert(id, Op { client, kind, key, start: now, awaiting: 0, pointer_phase: false });
         *self.outstanding.entry(client).or_insert(0) += 1;
         let shard = shard_of(key, self.cfg.shards);
         match (self.cfg.mode, kind) {
@@ -277,12 +275,7 @@ impl HtApp {
     fn complete(&mut self, now: u64, id: u64) {
         if let Some(op) = self.ops.remove(&id) {
             *self.outstanding.get_mut(&op.client).unwrap() -= 1;
-            self.completed.push(TxnRecord {
-                start: op.start,
-                end: now,
-                kind: op.kind,
-                retries: 0,
-            });
+            self.completed.push(TxnRecord { start: op.start, end: now, kind: op.kind, retries: 0 });
         }
     }
 
@@ -293,11 +286,7 @@ impl HtApp {
 
     fn do_lookup(&self, shard: usize, replica: usize, key: u64) -> bool {
         let bucket = self.bucket(key);
-        self.shards[shard][replica]
-            .buckets
-            .get(&bucket)
-            .map(|v| v.contains(&key))
-            .unwrap_or(false)
+        self.shards[shard][replica].buckets.get(&bucket).map(|v| v.contains(&key)).unwrap_or(false)
     }
 }
 
@@ -500,7 +489,12 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn run_ht(mode: HtMode, workload: HtWorkload, replicas: usize, dur_us: u64) -> Rc<RefCell<HtApp>> {
+    fn run_ht(
+        mode: HtMode,
+        workload: HtWorkload,
+        replicas: usize,
+        dur_us: u64,
+    ) -> Rc<RefCell<HtApp>> {
         let mut cfg = HtConfig::paper_default(mode, workload, replicas);
         cfg.shards = 4;
         cfg.clients = 4;
@@ -549,10 +543,7 @@ mod tests {
         let nb = base.borrow().completed.len();
         assert!(n1 > 0 && nb > 0);
         // Without replication the paper reports 1.9×; accept >1.2×.
-        assert!(
-            n1 as f64 > nb as f64 * 1.2,
-            "1Pipe {n1} should beat fenced baseline {nb}"
-        );
+        assert!(n1 as f64 > nb as f64 * 1.2, "1Pipe {n1} should beat fenced baseline {nb}");
     }
 
     #[test]

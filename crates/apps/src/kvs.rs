@@ -185,7 +185,14 @@ impl KvsApp {
 
     /// Send a server reply, charging the server's CPU when the service
     /// model is enabled.
-    fn reply(&mut self, now: u64, from: ProcessId, to: ProcessId, payload: Bytes, out: &mut SendQueue) {
+    fn reply(
+        &mut self,
+        now: u64,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        out: &mut SendQueue,
+    ) {
         if self.cfg.server_op_ns == 0 {
             out.push_raw(from, to, payload);
             return;
@@ -312,8 +319,7 @@ impl KvsApp {
     fn farm_exec(&mut self, id: u64, out: &mut SendQueue) {
         let txn = self.txns.get_mut(&id).unwrap();
         txn.phase = FarmPhase::Exec;
-        let reads: Vec<u64> =
-            txn.ops.iter().filter(|o| !o.write).map(|o| o.key).collect();
+        let reads: Vec<u64> = txn.ops.iter().filter(|o| !o.write).map(|o| o.key).collect();
         if reads.is_empty() {
             self.farm_lock(id, out);
             return;
@@ -333,8 +339,7 @@ impl KvsApp {
     fn farm_lock(&mut self, id: u64, out: &mut SendQueue) {
         let txn = self.txns.get_mut(&id).unwrap();
         txn.phase = FarmPhase::Lock;
-        let writes: Vec<u64> =
-            txn.ops.iter().filter(|o| o.write).map(|o| o.key).collect();
+        let writes: Vec<u64> = txn.ops.iter().filter(|o| o.write).map(|o| o.key).collect();
         if writes.is_empty() {
             // Pure RO in FaRM: reading consistent versions was enough.
             self.complete(id, usize::MAX, out);
@@ -355,8 +360,7 @@ impl KvsApp {
     fn farm_validate(&mut self, id: u64, out: &mut SendQueue) {
         let txn = self.txns.get_mut(&id).unwrap();
         txn.phase = FarmPhase::Validate;
-        let reads: Vec<(u64, u64)> =
-            txn.read_versions.iter().map(|(&k, &v)| (k, v)).collect();
+        let reads: Vec<(u64, u64)> = txn.read_versions.iter().map(|(&k, &v)| (k, v)).collect();
         if reads.is_empty() {
             self.farm_update(id, out);
             return;
@@ -377,12 +381,8 @@ impl KvsApp {
     fn farm_update(&mut self, id: u64, out: &mut SendQueue) {
         let txn = self.txns.get_mut(&id).unwrap();
         txn.phase = FarmPhase::Update;
-        let writes: Vec<(u64, u16)> = txn
-            .ops
-            .iter()
-            .filter(|o| o.write)
-            .map(|o| (o.key, o.vlen))
-            .collect();
+        let writes: Vec<(u64, u16)> =
+            txn.ops.iter().filter(|o| o.write).map(|o| (o.key, o.vlen)).collect();
         let txn = self.txns.get_mut(&id).unwrap();
         txn.awaiting = writes.len();
         let client = txn.client;
@@ -747,11 +747,7 @@ impl AppHook for KvsApp {
         // Retries whose backoff expired (issued from their client's host).
         let mut due = Vec::new();
         self.retry_queue.retain(|&(at, id)| {
-            let local = self
-                .txns
-                .get(&id)
-                .map(|t| procs.contains(&t.client))
-                .unwrap_or(false);
+            let local = self.txns.get(&id).map(|t| procs.contains(&t.client)).unwrap_or(false);
             if at <= now && local {
                 due.push(id);
                 false
@@ -800,8 +796,7 @@ mod tests {
 
     fn run_kvs(mode: KvsMode, dur_us: u64) -> Rc<RefCell<KvsApp>> {
         let mut cluster = Cluster::new(ClusterConfig::single_rack(4, 4));
-        let mut kcfg =
-            KvsConfig::paper_default(mode, 4, KeyDist::uniform(10_000));
+        let mut kcfg = KvsConfig::paper_default(mode, 4, KeyDist::uniform(10_000));
         kcfg.pipeline = 2;
         let app = Rc::new(RefCell::new(KvsApp::new(kcfg)));
         cluster.set_app(app.clone());
@@ -813,14 +808,9 @@ mod tests {
     fn onepipe_kvs_completes_transactions() {
         let app = run_kvs(KvsMode::OnePipe, 3_000);
         let app = app.borrow();
-        assert!(
-            app.completed.len() > 50,
-            "only {} transactions completed",
-            app.completed.len()
-        );
+        assert!(app.completed.len() > 50, "only {} transactions completed", app.completed.len());
         // All three kinds appear.
-        let kinds: std::collections::HashSet<u8> =
-            app.completed.iter().map(|r| r.kind).collect();
+        let kinds: std::collections::HashSet<u8> = app.completed.iter().map(|r| r.kind).collect();
         assert!(kinds.contains(&KIND_RO));
         assert!(app.aborts == 0, "1Pipe never aborts");
     }
@@ -829,11 +819,7 @@ mod tests {
     fn farm_kvs_completes_transactions() {
         let app = run_kvs(KvsMode::Farm, 3_000);
         let app = app.borrow();
-        assert!(
-            app.completed.len() > 50,
-            "only {} transactions completed",
-            app.completed.len()
-        );
+        assert!(app.completed.len() > 50, "only {} transactions completed", app.completed.len());
     }
 
     #[test]

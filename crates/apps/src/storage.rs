@@ -175,13 +175,19 @@ impl StorageApp {
         }
     }
 
-    fn persist(&mut self, now: u64, replica: ProcessId, reply_to: ProcessId, id: u64, chain_pos: usize) {
+    fn persist(
+        &mut self,
+        now: u64,
+        replica: ProcessId,
+        reply_to: ProcessId,
+        id: u64,
+        chain_pos: usize,
+    ) {
         let r = replica.0 as usize;
         self.persisted[r] += 1;
         // Running log checksum: mix in the entry id (stands in for the
         // message timestamp of §2.2.2).
-        self.checksums[r] =
-            self.checksums[r].wrapping_mul(0x100000001B3).wrapping_add(id);
+        self.checksums[r] = self.checksums[r].wrapping_mul(0x100000001B3).wrapping_add(id);
         let checksum = self.checksums[r];
         let done_at = now + self.disk_latency();
         self.disk_queue.push(DiskJob { done_at, replica, reply_to, id, chain_pos, checksum });

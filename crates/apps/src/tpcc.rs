@@ -691,11 +691,7 @@ impl AppHook for TpccApp {
         // Backoff retries for local clients.
         let mut due = Vec::new();
         self.retry_queue.retain(|&(at, id)| {
-            let local = self
-                .txns
-                .get(&id)
-                .map(|t| procs.contains(&t.client))
-                .unwrap_or(false);
+            let local = self.txns.get(&id).map(|t| procs.contains(&t.client)).unwrap_or(false);
             if at <= now && local {
                 due.push(id);
                 false

@@ -73,8 +73,7 @@ impl BroadcastProbe {
         let secs = (t1 - t0) as f64 / 1e9;
         // Each broadcast is delivered at every process; normalize to
         // broadcasts per second per process.
-        let tput =
-            delivered_in_window as f64 / (n_procs as f64).max(1.0) / secs.max(1e-12);
+        let tput = delivered_in_window as f64 / (n_procs as f64).max(1.0) / secs.max(1e-12);
         BroadcastMetrics {
             throughput_per_proc: tput,
             latency,

@@ -217,12 +217,8 @@ impl NodeLogic for SeqHost {
         // A gap ahead of the delivery cursor: ask the sequencer to
         // retransmit the first missing broadcast (simple go-back cursor).
         if seq > self.next_deliver[i] && !self.pending[i].contains_key(&self.next_deliver[i]) {
-            let nak = dgram(
-                d.dst,
-                self.seq_proc,
-                u32::MAX - 1,
-                req_payload(d.dst, self.next_deliver[i]),
-            );
+            let nak =
+                dgram(d.dst, self.seq_proc, u32::MAX - 1, req_payload(d.dst, self.next_deliver[i]));
             ctx.send(self.tor, SimPacket::new(nak));
         }
         // Deliver the contiguous prefix.
@@ -230,13 +226,7 @@ impl NodeLogic for SeqHost {
             let seq = self.next_deliver[i];
             self.pending[i].remove(&seq);
             self.next_deliver[i] += 1;
-            self.probe.borrow_mut().record_delivery(
-                ctx.now(),
-                self.procs[i],
-                origin,
-                k,
-                (seq, 0),
-            );
+            self.probe.borrow_mut().record_delivery(ctx.now(), self.procs[i], origin, k, (seq, 0));
         }
     }
 
@@ -328,10 +318,7 @@ mod tests {
         // Saturating load: the switch sequencer serves more broadcasts.
         let (_, switch_del) = run_seq(SeqKind::Switch, 4, 3_000_000.0, 2_000_000);
         let (_, host_del) = run_seq(SeqKind::Host, 4, 3_000_000.0, 2_000_000);
-        assert!(
-            switch_del > host_del,
-            "switch seq {switch_del} should beat host seq {host_del}"
-        );
+        assert!(switch_del > host_del, "switch seq {switch_del} should beat host seq {host_del}");
     }
 
     #[test]
@@ -366,11 +353,7 @@ mod tests {
         // 4 procs × 200 sends × 4 receivers = 3200 expected deliveries;
         // requests to the sequencer can be lost too (those broadcasts never
         // exist), but sequenced copies must recover via NAKs.
-        assert!(
-            p.delivery_count() > 2_900,
-            "only {} of ~3200 deliveries",
-            p.delivery_count()
-        );
+        assert!(p.delivery_count() > 2_900, "only {} of ~3200 deliveries", p.delivery_count());
     }
 
     #[test]

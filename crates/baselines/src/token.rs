@@ -166,9 +166,7 @@ impl TokenHost {
             let seq = self.next_deliver[i];
             self.pending[i].remove(&seq);
             self.next_deliver[i] += 1;
-            self.probe
-                .borrow_mut()
-                .record_delivery(now, receiver, origin, k, (seq, 0));
+            self.probe.borrow_mut().record_delivery(now, receiver, origin, k, (seq, 0));
         }
     }
 }
@@ -191,17 +189,15 @@ impl NodeLogic for TokenHost {
             return;
         }
         match payload.get_u8() {
-            TAG_TOKEN
-                if payload.remaining() >= 8 => {
-                    let counter = payload.get_u64();
-                    self.handle_token(ctx, d.dst, counter);
-                }
-            TAG_DATA
-                if payload.remaining() >= 12 => {
-                    let origin = ProcessId(payload.get_u32());
-                    let k = payload.get_u64();
-                    self.on_data(ctx.now(), d.dst, origin, k, d.header.psn as u64);
-                }
+            TAG_TOKEN if payload.remaining() >= 8 => {
+                let counter = payload.get_u64();
+                self.handle_token(ctx, d.dst, counter);
+            }
+            TAG_DATA if payload.remaining() >= 12 => {
+                let origin = ProcessId(payload.get_u32());
+                let k = payload.get_u64();
+                self.on_data(ctx.now(), d.dst, origin, k, d.header.psn as u64);
+            }
             _ => {}
         }
     }

@@ -47,7 +47,7 @@ fn bench_barrier_aggregation(c: &mut Criterion) {
             bench.iter(|| {
                 t += 1;
                 agg.observe_be(inputs[(t % ports as u64) as usize], Timestamp::from_nanos(t), t);
-                black_box(agg.out_be())
+                black_box(agg.out_be(0))
             })
         });
     }
@@ -67,7 +67,13 @@ fn bench_reorder_buffer(c: &mut Criterion) {
                         sender: ProcessId((i % 16) as u32),
                         seq: i,
                     };
-                    rb.insert_fragment(key, 0, i as u32, flags, bytes::Bytes::from_static(&[0u8; 64]));
+                    rb.insert_fragment(
+                        key,
+                        0,
+                        i as u32,
+                        flags,
+                        bytes::Bytes::from_static(&[0u8; 64]),
+                    );
                 }
                 black_box(rb.advance(Timestamp::from_nanos(10_000)))
             })

@@ -65,15 +65,11 @@ fn main() {
         }
         c.run_for(5_000_000);
         let delivered = c.take_deliveries();
-        let big_parts = delivered
-            .iter()
-            .filter(|r| r.msg.payload.len() == 32_768)
-            .count();
-        let small = delivered
-            .iter()
-            .filter(|r| r.msg.payload.len() == 5)
-            .count();
-        println!("large scattering parts delivered: {big_parts}/7 (credit holding prevents starvation)");
+        let big_parts = delivered.iter().filter(|r| r.msg.payload.len() == 32_768).count();
+        let small = delivered.iter().filter(|r| r.msg.payload.len() == 5).count();
+        println!(
+            "large scattering parts delivered: {big_parts}/7 (credit holding prevents starvation)"
+        );
         println!("small messages delivered:         {small}/50");
     }
 

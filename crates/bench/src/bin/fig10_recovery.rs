@@ -49,11 +49,7 @@ fn recovery_time(n_procs: usize, failure: Failure, seed: u64) -> f64 {
     let mut t = c.sim.now();
     while t < end {
         c.run_until(t);
-        let _ = c.send(
-            ProcessId(0),
-            vec![Message::new(ProcessId(1), vec![0u8; 32])],
-            true,
-        );
+        let _ = c.send(ProcessId(0), vec![Message::new(ProcessId(1), vec![0u8; 32])], true);
         t += interval;
     }
     c.run_for(1_000_000);

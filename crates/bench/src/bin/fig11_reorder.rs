@@ -31,28 +31,17 @@ fn run(delay_us: u64) -> (f64, f64, f64) {
     while t < t0 + dur {
         c.run_until(t);
         for p in 0..7u32 {
-            let _ = c.send(
-                ProcessId(p),
-                vec![Message::new(ProcessId(7), vec![0u8; 1024])],
-                false,
-            );
+            let _ = c.send(ProcessId(p), vec![Message::new(ProcessId(7), vec![0u8; 1024])], false);
         }
         t += interval;
     }
     c.run_for(2_000_000);
-    let delivered = c
-        .take_deliveries()
-        .iter()
-        .filter(|r| r.receiver == ProcessId(7))
-        .count();
+    let delivered = c.take_deliveries().iter().filter(|r| r.receiver == ProcessId(7)).count();
     let tput = delivered as f64 / (dur as f64 / 1e9) / 1e6;
     // Receive-buffer high-water mark at the receiver host.
     let buf = c
         .with_host(HostId(7), |hl, _| {
-            hl.endpoints
-                .iter()
-                .map(|e| e.max_rx_buffered())
-                .sum::<usize>()
+            hl.endpoints.iter().map(|e| e.max_rx_buffered()).sum::<usize>()
         })
         .unwrap_or(0);
     // Mean extra delivery latency actually observed.

@@ -96,10 +96,7 @@ fn main() {
         let op = run(mk(KvsMode::OnePipe), dur, 7);
         let fa = run(mk(KvsMode::Farm), dur, 8);
         let lat = |o: &Outcome, k: u8| {
-            o.metrics
-                .kind(k)
-                .map(|s| format!("{:.0}", us(s.mean())))
-                .unwrap_or_else(|| "-".into())
+            o.metrics.kind(k).map(|s| format!("{:.0}", us(s.mean()))).unwrap_or_else(|| "-".into())
         };
         row(&[
             format!("{wp}"),

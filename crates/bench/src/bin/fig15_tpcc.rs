@@ -53,9 +53,7 @@ fn recovery() {
         .user_events
         .borrow()
         .iter()
-        .find(|(_, _, ev)| {
-            matches!(ev, onepipe_core::events::UserEvent::ProcessFailed { .. })
-        })
+        .find(|(_, _, ev)| matches!(ev, onepipe_core::events::UserEvent::ProcessFailed { .. }))
         .map(|(at, _, _)| *at);
     match announce_at {
         Some(at) => println!(

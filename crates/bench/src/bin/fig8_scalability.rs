@@ -28,11 +28,8 @@ use std::rc::Rc;
 /// host like the testbed once n > 32), plain switches, shared probe.
 fn baseline_world(n: usize, seed: u64) -> (Sim, Rc<Topology>, Rc<ProcessMap>) {
     let mut sim = Sim::new(seed);
-    let params = if n <= 8 {
-        FatTreeParams::single_rack(n.max(2) as u32)
-    } else {
-        FatTreeParams::testbed()
-    };
+    let params =
+        if n <= 8 { FatTreeParams::single_rack(n.max(2) as u32) } else { FatTreeParams::testbed() };
     let topo = Rc::new(Topology::build(&mut sim, params));
     let procs = Rc::new(ProcessMap::place_round_robin(topo.num_hosts(), n));
     PlainSwitch::install_all(&mut sim, &topo, &procs);
@@ -148,11 +145,8 @@ fn main() {
     // offered all-to-all load exceeds what the discrete-event simulator
     // can faithfully carry for the ACK-heavy reliable service; the paper's
     // 128-512-process points are hardware-scale.
-    let sizes: Vec<usize> = if full_mode() {
-        vec![2, 4, 8, 16, 32, 64]
-    } else {
-        vec![2, 4, 8, 16, 32]
-    };
+    let sizes: Vec<usize> =
+        if full_mode() { vec![2, 4, 8, 16, 32, 64] } else { vec![2, 4, 8, 16, 32] };
     println!("# Figure 8: total order broadcast scalability");
     println!("# tput: delivered broadcasts per second per process (M/s)");
     println!("# lat:  mean delivery latency (us)");

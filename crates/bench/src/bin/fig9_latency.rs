@@ -30,7 +30,13 @@ fn cluster(n: usize, incarnation: Incarnation, unordered: bool, drop: f64) -> Cl
     Cluster::new(cfg)
 }
 
-fn run(n: usize, incarnation: Incarnation, unordered: bool, reliable: bool, drop: f64) -> (f64, f64, f64) {
+fn run(
+    n: usize,
+    incarnation: Incarnation,
+    unordered: bool,
+    reliable: bool,
+    drop: f64,
+) -> (f64, f64, f64) {
     // Loss is injected at the links: dropped beacons stall barriers (hitting
     // best-effort latency) and dropped Prepare packets force retransmission
     // RTTs (hitting reliable latency harder) — the two mechanisms §7.2
@@ -46,7 +52,14 @@ fn main() {
     let chip = Incarnation::Chip;
     let host = Incarnation::testbed_host_delegate();
     println!("# Figure 9a: delivery latency on an idle system (us: mean [p5 p95])");
-    row(&["procs".into(), "BE-chip".into(), "BE-host".into(), "R-chip".into(), "R-host".into(), "unorder".into()]);
+    row(&[
+        "procs".into(),
+        "BE-chip".into(),
+        "BE-host".into(),
+        "R-chip".into(),
+        "R-host".into(),
+        "unorder".into(),
+    ]);
     let sizes: Vec<usize> = if full_mode() { vec![8, 16, 32, 64] } else { vec![8, 16, 32] };
     for &n in &sizes {
         let be_chip = run(n, chip, false, false, 0.0);
@@ -55,18 +68,18 @@ fn main() {
         let r_host = run(n, host, false, true, 0.0);
         let un = run(n, chip, true, false, 0.0);
         let fmt = |t: (f64, f64, f64)| format!("{:.1}[{:.0},{:.0}]", t.0, t.1, t.2);
-        row(&[
-            n.to_string(),
-            fmt(be_chip),
-            fmt(be_host),
-            fmt(r_chip),
-            fmt(r_host),
-            fmt(un),
-        ]);
+        row(&[n.to_string(), fmt(be_chip), fmt(be_host), fmt(r_chip), fmt(r_host), fmt(un)]);
     }
 
     println!("\n# Figure 9b: mean latency (us) vs link packet loss probability (32 procs)");
-    row(&["loss".into(), "BE-chip".into(), "BE-host".into(), "R-chip".into(), "R-host".into(), "unorder".into()]);
+    row(&[
+        "loss".into(),
+        "BE-chip".into(),
+        "BE-host".into(),
+        "R-chip".into(),
+        "R-host".into(),
+        "unorder".into(),
+    ]);
     let rates: Vec<f64> = if full_mode() {
         vec![1e-8, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
     } else {

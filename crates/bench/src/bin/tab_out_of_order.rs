@@ -25,11 +25,7 @@ fn main() {
     while t < t0 + dur {
         c.run_until(t);
         for p in 0..8u32 {
-            let _ = c.send(
-                ProcessId(p),
-                vec![Message::new(ProcessId(8), vec![0u8; 64])],
-                false,
-            );
+            let _ = c.send(ProcessId(p), vec![Message::new(ProcessId(8), vec![0u8; 64])], false);
         }
         t += interval;
     }

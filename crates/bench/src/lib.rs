@@ -75,9 +75,8 @@ pub fn run_onepipe_broadcast(
         cluster.run_until(t);
         for p in 0..n as u32 {
             let from = ProcessId(p);
-            let msgs: Vec<Message> = (0..n as u32)
-                .map(|q| Message::new(ProcessId(q), vec![0u8; 64]))
-                .collect();
+            let msgs: Vec<Message> =
+                (0..n as u32).map(|q| Message::new(ProcessId(q), vec![0u8; 64])).collect();
             if cluster.send(from, msgs, reliable).is_ok() {
                 let seq = seq_of.entry(from).or_insert(0);
                 send_times.insert((from, *seq), cluster.sim.now());
@@ -98,12 +97,7 @@ pub fn run_onepipe_broadcast(
         }
     }
     let secs = dur_ns as f64 / 1e9;
-    RunMetrics {
-        tput_per_proc: delivered as f64 / n as f64 / secs,
-        latency,
-        sent,
-        delivered,
-    }
+    RunMetrics { tput_per_proc: delivered as f64 / n as f64 / secs, latency, sent, delivered }
 }
 
 /// Drive a uniform random-unicast workload (for latency experiments):
@@ -137,10 +131,7 @@ pub fn run_onepipe_unicast(
                     break ProcessId(q);
                 }
             };
-            if cluster
-                .send(from, vec![Message::new(to, vec![0u8; 64])], reliable)
-                .is_ok()
-            {
+            if cluster.send(from, vec![Message::new(to, vec![0u8; 64])], reliable).is_ok() {
                 let seq = seq_of.entry(from).or_insert(0);
                 send_times.insert((from, *seq), cluster.sim.now());
                 *seq += 1;
@@ -159,12 +150,7 @@ pub fn run_onepipe_unicast(
         }
     }
     let secs = dur_ns as f64 / 1e9;
-    RunMetrics {
-        tput_per_proc: delivered as f64 / n as f64 / secs,
-        latency,
-        sent,
-        delivered,
-    }
+    RunMetrics { tput_per_proc: delivered as f64 / n as f64 / secs, latency, sent, delivered }
 }
 
 /// Parse a `--full` flag (larger sweeps) from argv.

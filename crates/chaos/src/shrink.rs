@@ -1,0 +1,95 @@
+//! Greedy fault-schedule minimization.
+//!
+//! When a seed produces an invariant violation, the raw generated schedule
+//! usually contains faults that have nothing to do with the failure. The
+//! shrinker removes them delta-debugging style: try dropping chunks of
+//! events (largest first), keep any removal after which the run still
+//! fails, and repeat until no single event can be removed. The result is
+//! never longer than the input, and reproducing it needs only the
+//! minimized timeline plus the campaign seed.
+
+use crate::schedule::FaultSchedule;
+
+/// Minimize `schedule` against `still_fails`, which must rerun the
+/// campaign deterministically and report whether it still produces a
+/// violation. `still_fails(schedule)` is assumed true on entry (the
+/// original repro); the returned schedule also satisfies it, and is no
+/// longer than the original.
+pub fn shrink(
+    schedule: &FaultSchedule,
+    mut still_fails: impl FnMut(&FaultSchedule) -> bool,
+) -> FaultSchedule {
+    let mut cur = schedule.clone();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = cur.events.clone();
+            candidate.drain(start..end);
+            let candidate = FaultSchedule { events: candidate };
+            if still_fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+            // A removal at size 1 can unlock earlier removals; sweep again.
+        } else {
+            chunk = chunk.div_ceil(2).max(1);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Fault, FaultEvent};
+    use onepipe_types::ids::HostId;
+
+    fn flap(at: u64, host: u32) -> FaultEvent {
+        FaultEvent { at, fault: Fault::LinkFlap { host: HostId(host), down_for: 100 } }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let sched = FaultSchedule::new((0..20).map(|i| flap(i * 10, i as u32)).collect());
+        let culprit = flap(70, 7);
+        let min = shrink(&sched, |s| s.events.contains(&culprit));
+        assert_eq!(min.events, vec![culprit]);
+    }
+
+    #[test]
+    fn keeps_interacting_pairs() {
+        let sched = FaultSchedule::new((0..10).map(|i| flap(i * 10, i as u32)).collect());
+        let a = flap(20, 2);
+        let b = flap(80, 8);
+        let min = shrink(&sched, |s| s.events.contains(&a) && s.events.contains(&b));
+        assert_eq!(min.events, vec![a, b]);
+    }
+
+    #[test]
+    fn never_grows() {
+        let sched = FaultSchedule::new((0..7).map(|i| flap(i, i as u32)).collect());
+        // Pathological predicate: always fails, even on empty.
+        let min = shrink(&sched, |_| true);
+        assert!(min.len() <= sched.len());
+        assert!(min.is_empty(), "an always-failing predicate shrinks to empty");
+    }
+
+    #[test]
+    fn irreducible_schedule_is_returned_unchanged() {
+        let sched = FaultSchedule::new(vec![flap(1, 0), flap(2, 1)]);
+        let all = sched.events.clone();
+        let min = shrink(&sched, |s| s.events == all);
+        assert_eq!(min, sched);
+    }
+}

@@ -85,8 +85,7 @@ impl DriftClock {
     /// Read the local clock at true time `true_now` (nanoseconds).
     pub fn read(&self, true_now: u64) -> u64 {
         let elapsed = true_now.saturating_sub(self.epoch) as f64;
-        let local =
-            true_now as f64 + self.offset_ns + self.drift_ppm * 1e-6 * elapsed;
+        let local = true_now as f64 + self.offset_ns + self.drift_ppm * 1e-6 * elapsed;
         local.max(0.0) as u64
     }
 
@@ -114,10 +113,7 @@ pub struct SyncDiscipline {
 
 impl Default for SyncDiscipline {
     fn default() -> Self {
-        SyncDiscipline {
-            interval: DEFAULT_SYNC_INTERVAL,
-            residual_std_ns: DEFAULT_RESIDUAL_STD_NS,
-        }
+        SyncDiscipline { interval: DEFAULT_SYNC_INTERVAL, residual_std_ns: DEFAULT_RESIDUAL_STD_NS }
     }
 }
 
@@ -152,10 +148,7 @@ impl MonotonicClock {
 
     /// A perfect, never-corrected clock (useful in unit tests).
     pub fn perfect() -> Self {
-        let discipline = SyncDiscipline {
-            interval: DEFAULT_SYNC_INTERVAL,
-            residual_std_ns: 0.0,
-        };
+        let discipline = SyncDiscipline { interval: DEFAULT_SYNC_INTERVAL, residual_std_ns: 0.0 };
         Self::new(DriftClock::perfect(), discipline, 0)
     }
 
@@ -164,8 +157,7 @@ impl MonotonicClock {
     pub fn now(&mut self, true_now: u64) -> Timestamp {
         while true_now >= self.next_sync {
             let at = self.next_sync;
-            let residual =
-                sample_normal(&mut self.rng, 0.0, self.discipline.residual_std_ns);
+            let residual = sample_normal(&mut self.rng, 0.0, self.discipline.residual_std_ns);
             self.osc.correct(at, residual);
             self.next_sync += self.discipline.interval;
         }
@@ -177,6 +169,17 @@ impl MonotonicClock {
     /// The instantaneous offset from true time (ns, signed), for telemetry.
     pub fn offset_at(&self, true_now: u64) -> f64 {
         self.osc.offset_at(true_now)
+    }
+
+    /// Inject a sudden skew spike of `offset_ns` (signed) at true time
+    /// `true_now` — a chaos-testing fault. A positive spike steps the
+    /// clock forward; a negative one is absorbed by the monotonic slew
+    /// (readings hold at their maximum until real time catches up), so
+    /// timestamps never regress. The next sync round pulls the clock
+    /// back toward true time as usual.
+    pub fn perturb(&mut self, true_now: u64, offset_ns: f64) {
+        let current = self.osc.offset_at(true_now);
+        self.osc.correct(true_now, current + offset_ns);
     }
 }
 
@@ -191,10 +194,8 @@ impl ClockFleet {
         let mut seeder = StdRng::seed_from_u64(seed);
         let clocks = (0..n)
             .map(|_| {
-                let drift =
-                    seeder.random_range(-DEFAULT_MAX_DRIFT_PPM..DEFAULT_MAX_DRIFT_PPM);
-                let offset =
-                    sample_normal(&mut seeder, 0.0, discipline.residual_std_ns);
+                let drift = seeder.random_range(-DEFAULT_MAX_DRIFT_PPM..DEFAULT_MAX_DRIFT_PPM);
+                let offset = sample_normal(&mut seeder, 0.0, discipline.residual_std_ns);
                 let clock_seed = seeder.random_range(0..u64::MAX);
                 MonotonicClock::new(DriftClock::new(drift, offset), discipline, clock_seed)
             })
@@ -301,7 +302,7 @@ mod tests {
     #[test]
     fn drift_accumulates() {
         let c = DriftClock::new(10.0, 0.0); // +10 ppm
-        // After 1 s, a +10 ppm clock is 10 µs ahead.
+                                            // After 1 s, a +10 ppm clock is 10 µs ahead.
         assert_eq!(c.read(SECONDS), SECONDS + 10_000);
     }
 
@@ -319,8 +320,7 @@ mod tests {
     fn monotone_under_backwards_step() {
         // Clock that runs fast, then gets stepped back hard at each sync.
         let osc = DriftClock::new(100.0, 0.0);
-        let discipline =
-            SyncDiscipline { interval: 10 * MILLIS, residual_std_ns: 0.0 };
+        let discipline = SyncDiscipline { interval: 10 * MILLIS, residual_std_ns: 0.0 };
         let mut c = MonotonicClock::new(osc, discipline, 1);
         let mut last = Timestamp::ZERO;
         for t in (0..(100 * MILLIS)).step_by((MILLIS / 2) as usize) {
@@ -367,19 +367,12 @@ mod tests {
             "mean skew {} µs out of band",
             stats.mean_us()
         );
-        assert!(
-            (0.3..1.6).contains(&stats.p95_us()),
-            "p95 skew {} µs out of band",
-            stats.p95_us()
-        );
+        assert!((0.3..1.6).contains(&stats.p95_us()), "p95 skew {} µs out of band", stats.p95_us());
     }
 
     #[test]
     fn skew_stats_empty_and_singleton() {
-        assert_eq!(
-            SkewStats::from_samples(&[]),
-            SkewStats { mean: 0.0, p95: 0.0, max: 0.0 }
-        );
+        assert_eq!(SkewStats::from_samples(&[]), SkewStats { mean: 0.0, p95: 0.0, max: 0.0 });
         let s = SkewStats::from_samples(&[500.0]);
         assert_eq!(s.mean, 500.0);
         assert_eq!(s.p95, 500.0);

@@ -44,12 +44,7 @@ pub struct FailureDomains {
 
 impl FailureDomains {
     /// Register a component with its nodes and the processes it kills.
-    pub fn add_component(
-        &mut self,
-        id: ComponentId,
-        nodes: Vec<NodeId>,
-        killed: Vec<ProcessId>,
-    ) {
+    pub fn add_component(&mut self, id: ComponentId, nodes: Vec<NodeId>, killed: Vec<ProcessId>) {
         for &n in &nodes {
             self.component_of.insert(n, id);
         }
@@ -122,11 +117,18 @@ pub enum CtrlAction {
         /// Failed processes with their failure timestamps.
         failures: Vec<(ProcessId, Timestamp)>,
     },
-    /// Resume step: switches neighboring `dead_node` remove it from their
-    /// commit-barrier aggregation.
+    /// Resume step: the switch that reported a dead input link removes
+    /// exactly that link from its commit-barrier aggregation. Scoping the
+    /// removal to the *reported link* matters: a rack cut off by its
+    /// uplinks sees every spine as dead, but the spines are healthy and
+    /// still carry other pods' commit contributions — removing the spine
+    /// node wholesale downstream would inflate the global commit barrier
+    /// past live senders' pinned contributions (premature delivery).
     Resume {
-        /// The node whose input links should be dropped.
-        dead_node: NodeId,
+        /// The switch that reported the dead link (removal site).
+        at: NodeId,
+        /// The input link to drop from commit aggregation.
+        input: NodeId,
     },
     /// Reply to a `RecoveryRequest`.
     RecoveryInfo {
@@ -158,6 +160,9 @@ pub struct PendingFailure {
     pub completed: BTreeSet<ProcessId>,
     /// Processes whose completion we are waiting for.
     pub expected: BTreeSet<ProcessId>,
+    /// Dead input links reported for this component: `(reporter, input)`.
+    /// Resume removes exactly these links from commit aggregation.
+    pub dead_links: BTreeSet<(NodeId, NodeId)>,
 }
 
 /// The controller state machine (runs on the Raft leader).
@@ -202,10 +207,15 @@ impl ControllerCore {
         !self.pending.is_empty()
     }
 
+    /// In-flight failure handling state (telemetry / chaos triage).
+    pub fn pending_failures(&self) -> impl Iterator<Item = &PendingFailure> + '_ {
+        self.pending.values()
+    }
+
     /// Apply one committed event at controller time `now`; returns actions.
     pub fn apply(&mut self, ev: CtrlEvent, now: u64) -> Vec<CtrlAction> {
         match ev {
-            CtrlEvent::Detect { dead, last_commit, at, .. } => {
+            CtrlEvent::Detect { reporter, dead, last_commit, at } => {
                 let Some(&comp) = self.domains.component_of.get(&dead) else {
                     return Vec::new();
                 };
@@ -217,7 +227,9 @@ impl ControllerCore {
                     decision_proposed: false,
                     completed: BTreeSet::new(),
                     expected: BTreeSet::new(),
+                    dead_links: BTreeSet::new(),
                 });
+                entry.dead_links.insert((reporter, dead));
                 if entry.announce_id.is_none() {
                     entry.failure_ts = entry.failure_ts.max(last_commit);
                 }
@@ -342,16 +354,13 @@ impl ControllerCore {
         let ready: Vec<ComponentId> = self
             .pending
             .iter()
-            .filter(|(_, p)| {
-                p.announce_id.is_some() && p.expected.is_subset(&p.completed)
-            })
+            .filter(|(_, p)| p.announce_id.is_some() && p.expected.is_subset(&p.completed))
             .map(|(&c, _)| c)
             .collect();
         for comp in ready {
             let p = self.pending.remove(&comp).unwrap();
-            for node in self.domains.nodes_of.get(&p.component).cloned().unwrap_or_default()
-            {
-                actions.push(CtrlAction::Resume { dead_node: node });
+            for (at, input) in p.dead_links {
+                actions.push(CtrlAction::Resume { at, input });
             }
         }
         actions
@@ -477,12 +486,7 @@ mod tests {
         let mut c = core();
         // Detect at t=0; window is 10 µs.
         let a = c.apply(
-            CtrlEvent::Detect {
-                reporter: NodeId(5),
-                dead: NodeId(0),
-                last_commit: ts(100),
-                at: 0,
-            },
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(100), at: 0 },
             0,
         );
         assert!(a.is_empty(), "must wait out the determine window");
@@ -511,11 +515,19 @@ mod tests {
         }
         let id = announces[0].0;
         // One completion: not yet resumed.
-        let a = c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(1) }, 11_000);
+        let a =
+            c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(1) }, 11_000);
         assert!(a.is_empty());
-        // Second completion: Resume fires for the host's node.
-        let a = c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) }, 12_000);
-        assert_eq!(a, vec![CtrlAction::Resume { dead_node: NodeId(0) }]);
+        // Second completion: Resume fires for each reported dead link.
+        let a =
+            c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) }, 12_000);
+        assert_eq!(
+            a,
+            vec![
+                CtrlAction::Resume { at: NodeId(5), input: NodeId(0) },
+                CtrlAction::Resume { at: NodeId(6), input: NodeId(0) },
+            ]
+        );
         assert!(!c.has_pending());
         assert_eq!(c.failures().collect::<Vec<_>>(), vec![(ProcessId(0), ts(150))]);
     }
@@ -524,16 +536,11 @@ mod tests {
     fn fabric_failure_resumes_without_announcement() {
         let mut c = core();
         c.apply(
-            CtrlEvent::Detect {
-                reporter: NodeId(5),
-                dead: NodeId(10),
-                last_commit: ts(42),
-                at: 0,
-            },
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(10), last_commit: ts(42), at: 0 },
             0,
         );
         let a = c.tick(10_000);
-        assert_eq!(a, vec![CtrlAction::Resume { dead_node: NodeId(10) }]);
+        assert_eq!(a, vec![CtrlAction::Resume { at: NodeId(5), input: NodeId(10) }]);
         // Nobody failed.
         assert_eq!(c.failures().count(), 0);
         assert_eq!(c.correct_processes().count(), 3);
@@ -543,12 +550,7 @@ mod tests {
     fn unknown_node_ignored() {
         let mut c = core();
         let a = c.apply(
-            CtrlEvent::Detect {
-                reporter: NodeId(5),
-                dead: NodeId(99),
-                last_commit: ts(1),
-                at: 0,
-            },
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(99), last_commit: ts(1), at: 0 },
             0,
         );
         assert!(a.is_empty());
@@ -619,8 +621,7 @@ mod tests {
         // component 1 announces to {p2}: three announcements total, and the
         // now-failed p1 is dropped from every pending expectation so the
         // protocol cannot deadlock waiting for a dead process.
-        let announce_count =
-            a.iter().filter(|x| matches!(x, CtrlAction::Announce { .. })).count();
+        let announce_count = a.iter().filter(|x| matches!(x, CtrlAction::Announce { .. })).count();
         assert_eq!(announce_count, 3);
         assert_eq!(c.correct_processes().collect::<Vec<_>>(), vec![ProcessId(2)]);
         // p2's completions alone must now finish both failures.
@@ -631,13 +632,7 @@ mod tests {
                 20_000,
             ));
         }
-        assert_eq!(
-            resumes
-                .iter()
-                .filter(|a| matches!(a, CtrlAction::Resume { .. }))
-                .count(),
-            2
-        );
+        assert_eq!(resumes.iter().filter(|a| matches!(a, CtrlAction::Resume { .. })).count(), 2);
         assert!(!c.has_pending());
     }
 

@@ -11,8 +11,6 @@
 //! The node is sans-io: [`RaftNode::tick`] and [`RaftNode::on_message`]
 //! return `(peer, message)` pairs for the harness to deliver.
 
-use serde::{Deserialize, Serialize};
-
 /// Role of a replica.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RaftRole {
@@ -25,7 +23,7 @@ pub enum RaftRole {
 }
 
 /// One replicated log entry (opaque command bytes).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogEntry {
     /// Term in which the entry was appended.
     pub term: u64,
@@ -36,7 +34,7 @@ pub struct LogEntry {
 }
 
 /// Raft wire messages.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RaftMsg {
     /// Candidate requesting a vote.
     RequestVote {
@@ -324,9 +322,7 @@ impl RaftNode {
                 }
             }
             RaftMsg::Append { term, prev_log_index, prev_log_term, entries, leader_commit } => {
-                if term > self.term
-                    || (term == self.term && self.role == RaftRole::Candidate)
-                {
+                if term > self.term || (term == self.term && self.role == RaftRole::Candidate) {
                     self.become_follower(term, now);
                 }
                 if term < self.term {
@@ -403,8 +399,7 @@ impl RaftNode {
             if self.term_at(n) != self.term {
                 continue;
             }
-            let replicas =
-                1 + self.match_index.iter().filter(|&&m| m >= n).count();
+            let replicas = 1 + self.match_index.iter().filter(|&&m| m >= n).count();
             if replicas >= self.quorum() {
                 self.commit_index = n;
                 break;
@@ -436,12 +431,7 @@ mod tests {
                     RaftNode::new(i, peers, cfg)
                 })
                 .collect();
-            Cluster {
-                nodes,
-                inflight: VecDeque::new(),
-                blocked: vec![false; n as usize],
-                now: 0,
-            }
+            Cluster { nodes, inflight: VecDeque::new(), blocked: vec![false; n as usize], now: 0 }
         }
 
         /// Advance time by `dt`, delivering all messages synchronously.
@@ -565,10 +555,7 @@ mod tests {
             },
             0,
         );
-        assert!(matches!(
-            out[0].1,
-            RaftMsg::AppendResp { ok: false, term: 5, .. }
-        ));
+        assert!(matches!(out[0].1, RaftMsg::AppendResp { ok: false, term: 5, .. }));
     }
 
     #[test]

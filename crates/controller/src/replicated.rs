@@ -68,9 +68,9 @@ impl ReplicatedController {
         let mut actions = self.drain_committed(now);
         if self.raft.is_leader() {
             for comp in self.core.expired_windows(now) {
-                if self.raft.propose(CtrlEvent::AnnounceDecision { component: comp }
-                    .encode()
-                    .to_vec())
+                if self
+                    .raft
+                    .propose(CtrlEvent::AnnounceDecision { component: comp }.encode().to_vec())
                 {
                     self.core.mark_decision_proposed(comp);
                 }
@@ -158,8 +158,7 @@ mod tests {
                     actions.extend(acts);
                 }
                 while let Some((from, to, m)) = self.inflight.pop_front() {
-                    let (msgs, acts) =
-                        self.replicas[to as usize].on_raft_msg(from, m, self.now);
+                    let (msgs, acts) = self.replicas[to as usize].on_raft_msg(from, m, self.now);
                     for (t2, m2) in msgs {
                         self.inflight.push_back((to, t2, m2));
                     }
@@ -187,10 +186,8 @@ mod tests {
         }));
         let actions = c.run(60_000);
         // The leader announced to the two correct processes.
-        let announces: Vec<_> = actions
-            .iter()
-            .filter(|a| matches!(a, CtrlAction::Announce { .. }))
-            .collect();
+        let announces: Vec<_> =
+            actions.iter().filter(|a| matches!(a, CtrlAction::Announce { .. })).collect();
         assert_eq!(announces.len(), 2);
         // Every replica applied the committed event.
         for r in &c.replicas {
@@ -240,10 +237,7 @@ mod tests {
             assert!(rep.submit(ev.clone()));
         }
         rep.tick(30_000);
-        assert_eq!(
-            core.failures().collect::<Vec<_>>(),
-            rep.core().failures().collect::<Vec<_>>()
-        );
+        assert_eq!(core.failures().collect::<Vec<_>>(), rep.core().failures().collect::<Vec<_>>());
         assert_eq!(
             core.correct_processes().collect::<Vec<_>>(),
             rep.core().correct_processes().collect::<Vec<_>>()
@@ -256,8 +250,6 @@ mod tests {
         c.run(10_000);
         let leader = c.leader();
         let follower = (0..3).find(|&i| i != leader).unwrap();
-        assert!(!c.replicas[follower].submit(CtrlEvent::RecoveryRequest {
-            proc: ProcessId(1)
-        }));
+        assert!(!c.replicas[follower].submit(CtrlEvent::RecoveryRequest { proc: ProcessId(1) }));
     }
 }

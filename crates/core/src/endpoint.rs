@@ -41,6 +41,11 @@ pub const HOP_LOCAL: ProcessId = ProcessId(u32::MAX);
 #[derive(Debug)]
 struct PendingScattering {
     seq: u64,
+    /// Timestamp assigned at submission (the paper's API returns `TS`
+    /// synchronously). While queued, it pins this host's barrier
+    /// contributions so the network cannot advance past an unsent
+    /// message.
+    ts: Timestamp,
     reliable: bool,
     msgs: Vec<Message>,
     /// Packets needed per destination.
@@ -106,6 +111,10 @@ pub struct EndpointStats {
     /// Reliable messages lost *after* commit — must stay 0 (atomicity).
     pub commit_anomalies: u64,
 }
+
+/// `((ts, seq), destinations, unacked packets, aborted)` — the shape of
+/// [`Endpoint::oldest_outstanding`].
+pub type OutstandingInfo = ((Timestamp, u64), Vec<ProcessId>, u32, bool);
 
 /// The 1Pipe endpoint for a single process. See the crate docs for the
 /// driving contract.
@@ -277,6 +286,14 @@ impl Endpoint {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Timestamp rules (assigned NOW, per Table 1's synchronous `TS`
+        // return): non-decreasing per host, strictly above the last
+        // advertised commit barrier contribution. Anchor the ring state
+        // first so PAWS comparisons are well-defined on the first send.
+        self.observe_clock(now);
+        let ts =
+            self.now_local.max(self.last_ts_assigned).max(self.last_commit_sent.wrapping_add(1));
+        self.last_ts_assigned = ts;
         let mut needs: HashMap<ProcessId, u32> = HashMap::new();
         for m in &msgs {
             *needs.entry(m.dst).or_insert(0) +=
@@ -286,6 +303,7 @@ impl Endpoint {
         needs.sort(); // deterministic reservation order
         self.pending.push_back(PendingScattering {
             seq,
+            ts,
             reliable,
             msgs,
             needs,
@@ -360,15 +378,32 @@ impl Endpoint {
     /// This host's best-effort barrier contribution: the local clock
     /// (future message timestamps can never fall below it).
     pub fn be_contribution(&self, now: Timestamp) -> Timestamp {
-        now.max(self.now_local)
+        let clock = now.max(self.now_local);
+        // Queued-but-untransmitted best-effort scatterings already carry
+        // their timestamp (assigned at submit); the contribution must not
+        // advance past them while they wait for credits (§4.1: min over
+        // in-flight message timestamps).
+        match self.pending.iter().filter(|p| !p.reliable).map(|p| p.ts).min() {
+            Some(ts) => clock.min(ts),
+            None => clock,
+        }
     }
 
     /// This process's commit barrier contribution: just below the oldest
     /// outstanding (or aborted-but-unrecalled) reliable scattering, or the
     /// clock when nothing is outstanding.
     pub fn commit_contribution(&mut self, now: Timestamp) -> Timestamp {
-        let candidate = match self.outstanding_rel.first_key_value() {
-            Some(((ts, _), _)) => Timestamp::from_raw(ts.raw().wrapping_sub(1)),
+        let oldest_outstanding = self.outstanding_rel.first_key_value().map(|((ts, _), _)| *ts);
+        // Queued reliable scatterings count as in-flight too: their
+        // timestamps were assigned at submit. The pending queue is
+        // ts-monotone, so the first reliable entry is the oldest.
+        let oldest_pending = self.pending.iter().find(|p| p.reliable).map(|p| p.ts);
+        let oldest = match (oldest_outstanding, oldest_pending) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let candidate = match oldest {
+            Some(ts) => Timestamp::from_raw(ts.raw().wrapping_sub(1)),
             None => now.max(self.now_local),
         };
         // Monotonic: never step back below what we already advertised.
@@ -381,15 +416,45 @@ impl Endpoint {
         (self.be_barrier, self.commit_barrier)
     }
 
+    /// Timestamp assigned to the most recent `submit` (Table 1: the send
+    /// API returns `TS` synchronously). Read immediately after a send.
+    pub fn last_assigned_ts(&self) -> Timestamp {
+        self.last_ts_assigned
+    }
+
+    /// The oldest outstanding reliable scattering, if any: `(ts, seq)`,
+    /// its destinations, unacked packet count and whether it was aborted
+    /// (telemetry / chaos triage).
+    pub fn oldest_outstanding(&self) -> Option<OutstandingInfo> {
+        self.outstanding_rel
+            .first_key_value()
+            .map(|(&key, rs)| (key, rs.dsts.clone(), rs.remaining, rs.aborted))
+    }
+
+    /// Failure callbacks not yet reported complete: `(announce_id,
+    /// app_done, recall seqs still in flight)` (telemetry / chaos triage).
+    pub fn pending_callbacks(&self) -> Vec<(u64, bool, Vec<u64>)> {
+        self.callbacks
+            .iter()
+            .filter(|(_, cb)| !cb.reported)
+            .map(|(&id, cb)| (id, cb.app_done, cb.recalls.iter().copied().collect()))
+            .collect()
+    }
+
+    /// In-flight recalls: `(seq, receivers still unacked, retries)`
+    /// (telemetry / chaos triage).
+    pub fn pending_recalls(&self) -> Vec<(u64, Vec<ProcessId>, u32)> {
+        self.recalls
+            .iter()
+            .map(|(&seq, rs)| (seq, rs.waiting.iter().copied().collect(), rs.retries))
+            .collect()
+    }
+
     /// Total buffered bytes on this endpoint (send + receive), for the
     /// Figure 11 memory accounting.
     pub fn buffered_bytes(&self) -> usize {
-        let tx: usize = self
-            .be_tx
-            .values()
-            .chain(self.rel_tx.values())
-            .map(|c| c.buffered_bytes())
-            .sum();
+        let tx: usize =
+            self.be_tx.values().chain(self.rel_tx.values()).map(|c| c.buffered_bytes()).sum();
         tx + self.be_rx.buffered_bytes() + self.rel_rx.buffered_bytes()
     }
 
@@ -419,17 +484,14 @@ impl Endpoint {
     }
 
     fn on_data(&mut self, d: Datagram) {
-        if self.cfg.rx_drop_rate > 0.0
-            && self.rng.random_range(0.0..1.0) < self.cfg.rx_drop_rate
-        {
+        if self.cfg.rx_drop_rate > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.rx_drop_rate {
             self.stats.rx_dropped += 1;
             return;
         }
         let reliable = d.header.opcode == Opcode::DataReliable;
         if self.cfg.trust_data_barriers {
             self.be_barrier = merge_barrier(self.be_barrier, d.header.barrier);
-            self.commit_barrier =
-                merge_barrier(self.commit_barrier, d.header.commit_barrier);
+            self.commit_barrier = merge_barrier(self.commit_barrier, d.header.commit_barrier);
         }
         let Ok((seq, midx, data)) = parse_fragment(d.payload.clone()) else {
             return;
@@ -453,6 +515,7 @@ impl Endpoint {
             Insert::Ready(msg) => {
                 // Unordered baseline mode.
                 self.send_ack(&d, reliable);
+                self.observe_delivered_ts(msg.ts);
                 if reliable {
                     self.stats.delivered_rel += 1;
                     self.delivered_rel.push_back(msg);
@@ -659,9 +722,7 @@ impl Endpoint {
                     }
                     if have + take < need {
                         all = false;
-                        if ch.available(self.cfg.recv_window) > 0
-                            || !ch.outstanding.is_empty()
-                        {
+                        if ch.available(self.cfg.recv_window) > 0 || !ch.outstanding.is_empty() {
                             forceable = false;
                         }
                     }
@@ -686,12 +747,10 @@ impl Endpoint {
     }
 
     fn transmit_scattering(&mut self, now: Timestamp, scat: PendingScattering) {
-        // Timestamp rules: non-decreasing per host, strictly above the
-        // last advertised commit barrier.
-        let ts = now
-            .max(self.last_ts_assigned)
-            .max(self.last_commit_sent.wrapping_add(1));
-        self.last_ts_assigned = ts;
+        // The timestamp was assigned at submission; the queued scattering
+        // pinned the barrier contributions below it in the meantime.
+        let ts = scat.ts;
+        self.last_ts_assigned = self.last_ts_assigned.max(ts);
         let reliable = scat.reliable;
         let scattering_flag = scat.msgs.len() > 1;
         let mut total_packets = 0u32;
@@ -741,10 +800,8 @@ impl Endpoint {
             }
         }
         if reliable {
-            self.outstanding_rel.insert(
-                (ts, scat.seq),
-                RelScat { remaining: total_packets, dsts, aborted: false },
-            );
+            self.outstanding_rel
+                .insert((ts, scat.seq), RelScat { remaining: total_packets, dsts, aborted: false });
         }
     }
 
@@ -877,6 +934,16 @@ impl Endpoint {
         }
     }
 
+    /// Hybrid-logical-clock clamp: a delivered timestamp is an observed
+    /// event, so no later send may be timestamped below it (causality, §3).
+    /// Physical clocks alone cannot guarantee this once a clock is skewed
+    /// backwards — the clamp keeps send timestamps above everything this
+    /// process has seen.
+    fn observe_delivered_ts(&mut self, ts: Timestamp) {
+        self.last_ts_assigned = self.last_ts_assigned.max(ts);
+        self.now_local = self.now_local.max(ts);
+    }
+
     fn advance_buffers(&mut self) {
         // Artificial delay (Figure 11): hold the barrier back.
         let be_edge = if self.cfg.artificial_delay == 0 {
@@ -887,6 +954,7 @@ impl Endpoint {
         };
         let (delivered, failed) = self.be_rx.advance(be_edge);
         for msg in delivered {
+            self.observe_delivered_ts(msg.ts);
             self.stats.delivered_be += 1;
             self.delivered_be.push_back(msg);
         }
@@ -908,6 +976,7 @@ impl Endpoint {
         }
         let (delivered, failed) = self.rel_rx.advance(self.commit_barrier);
         for msg in delivered {
+            self.observe_delivered_ts(msg.ts);
             self.stats.delivered_rel += 1;
             self.delivered_rel.push_back(msg);
         }
@@ -930,11 +999,16 @@ impl Endpoint {
         failures: &[(ProcessId, Timestamp)],
     ) {
         self.observe_clock(now);
-        let mut cb = CallbackState {
-            app_done: false,
-            recalls: HashSet::new(),
-            reported: false,
-        };
+        // Register the callback before touching recall state: aborting a
+        // scattering for one failed process can complete (via the
+        // cancellation path) while a *later* process in the same
+        // announcement is handled, and `finish_recall` must find this
+        // callback in the map to release its gate — a locally-built state
+        // inserted at the end would keep a dangling recall seq forever.
+        self.callbacks.insert(
+            announce_id,
+            CallbackState { app_done: false, recalls: HashSet::new(), reported: false },
+        );
         for &(proc, fail_ts) in failures {
             self.failed.insert(proc, fail_ts);
             // Discard: receive-buffered messages from the failed process
@@ -943,7 +1017,9 @@ impl Endpoint {
             // Recall: drop sends to the failed process and abort their
             // scatterings.
             let aborted = self.abort_sends_to(now, proc);
-            cb.recalls.extend(aborted);
+            if let Some(cb) = self.callbacks.get_mut(&announce_id) {
+                cb.recalls.extend(aborted);
+            }
             // Cancel in-progress recalls addressed to the newly failed
             // process: they are now undeliverable.
             let mut finished = Vec::new();
@@ -968,7 +1044,7 @@ impl Endpoint {
             self.pending.retain(|p| {
                 let doomed = p.reliable && p.msgs.iter().any(|m| m.dst == proc);
                 if doomed {
-                    recalled_events.push((Timestamp::ZERO, p.seq));
+                    recalled_events.push((p.ts, p.seq));
                 }
                 !doomed
             });
@@ -976,11 +1052,8 @@ impl Endpoint {
                 self.events.push_back(UserEvent::Recalled { ts, seq });
             }
         }
-        self.events.push_back(UserEvent::ProcessFailed {
-            announce_id,
-            failures: failures.to_vec(),
-        });
-        self.callbacks.insert(announce_id, cb);
+        self.events
+            .push_back(UserEvent::ProcessFailed { announce_id, failures: failures.to_vec() });
         self.report_ready_callbacks();
     }
 
@@ -1027,13 +1100,20 @@ impl Endpoint {
                 }
             }
             self.events.push_back(UserEvent::Recalled { ts, seq });
-            aborted_seqs.push(seq);
             if others.is_empty() {
                 // Nothing to recall; the scattering dissolves immediately.
+                // Crucially it must NOT be reported to the caller: the
+                // failure callback only waits on recalls that are actually
+                // in flight. (A seq with no RecallState would otherwise
+                // pin the callback forever, the controller would never see
+                // CallbackComplete from this process, Resume would never
+                // fire, and the accused host's stale commit contribution
+                // would stall the global commit barrier permanently.)
                 self.outstanding_rel.remove(&(ts, seq));
                 self.commit_dirty = true;
                 self.emit_commit_if_advanced();
             } else {
+                aborted_seqs.push(seq);
                 for &dst in &others {
                     self.push_recall(ts, seq, dst);
                 }
@@ -1114,8 +1194,7 @@ fn channel<'a>(
     dst: ProcessId,
     cfg: &EndpointConfig,
 ) -> &'a mut TxChannel {
-    map.entry(dst)
-        .or_insert_with(|| TxChannel::new(dst, cfg.initial_cwnd, cfg.dctcp_gain))
+    map.entry(dst).or_insert_with(|| TxChannel::new(dst, cfg.initial_cwnd, cfg.dctcp_gain))
 }
 
 /// Merge a barrier observation into state where [`Timestamp::ZERO`] is the
@@ -1185,11 +1264,7 @@ mod tests {
         assert_eq!(got.ts, ts(100));
         // The ACK flows back.
         pump(&mut b, &mut a, ts(201));
-        assert!(a
-            .be_tx
-            .get(&ProcessId(1))
-            .map(|c| c.outstanding.is_empty())
-            .unwrap_or(true));
+        assert!(a.be_tx.get(&ProcessId(1)).map(|c| c.outstanding.is_empty()).unwrap_or(true));
     }
 
     #[test]
@@ -1232,7 +1307,9 @@ mod tests {
         assert!(commit_val >= ts(100));
         // Committed event fired.
         let evs: Vec<_> = std::iter::from_fn(|| a.poll_event()).collect();
-        assert!(evs.iter().any(|e| matches!(e, UserEvent::Committed { ts: t, .. } if *t == ts(100))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, UserEvent::Committed { ts: t, .. } if *t == ts(100))));
         // Receiver delivers once the commit barrier reaches it.
         b.on_barrier(Timestamp::ZERO, commit_val);
         let got = b.recv_reliable().unwrap();
@@ -1295,7 +1372,7 @@ mod tests {
         pump(&mut a, &mut b, ts(101));
         b.on_barrier(ts(1_000_000), Timestamp::ZERO);
         pump(&mut b, &mut a, ts(102)); // ACK for the first
-        // This one will arrive below b's delivered edge → NAK.
+                                       // This one will arrive below b's delivered edge → NAK.
         a.send_unreliable(ts(200), vec![Message::new(ProcessId(1), "late")]).unwrap();
         pump(&mut a, &mut b, ts(201));
         assert_eq!(b.stats.late_drops, 1);
@@ -1348,8 +1425,7 @@ mod tests {
     fn large_message_fragments_and_reassembles() {
         let (mut a, mut b) = two();
         let payload = vec![0xAB; 5000];
-        a.send_unreliable(ts(100), vec![Message::new(ProcessId(1), payload.clone())])
-            .unwrap();
+        a.send_unreliable(ts(100), vec![Message::new(ProcessId(1), payload.clone())]).unwrap();
         let (n, _) = pump(&mut a, &mut b, ts(101));
         assert_eq!(n, 5, "5000 B / 1024 B per fragment = 5 packets");
         b.on_barrier(ts(200), Timestamp::ZERO);
@@ -1420,9 +1496,7 @@ mod tests {
         // After the app finishes its callback, completion is reported.
         a.complete_failure_callback(1);
         let reqs: Vec<_> = std::iter::from_fn(|| a.poll_ctrl()).collect();
-        assert!(reqs
-            .iter()
-            .any(|r| matches!(r, CtrlRequest::CallbackComplete { announce_id: 1 })));
+        assert!(reqs.iter().any(|r| matches!(r, CtrlRequest::CallbackComplete { announce_id: 1 })));
     }
 
     #[test]
@@ -1507,9 +1581,8 @@ mod tests {
         let cfg = EndpointConfig { initial_cwnd: 2, ..EndpointConfig::default() };
         let mut a = Endpoint::new(ProcessId(0), cfg);
         a.send_reliable(ts(1), vec![Message::new(ProcessId(1), vec![0u8; 4000])]).unwrap();
-        let sent = std::iter::from_fn(|| a.poll_transmit())
-            .filter(|d| d.header.opcode.is_data())
-            .count();
+        let sent =
+            std::iter::from_fn(|| a.poll_transmit()).filter(|d| d.header.opcode.is_data()).count();
         assert_eq!(sent, 4, "all 4 fragments must go out despite cwnd=2");
     }
 
@@ -1518,9 +1591,7 @@ mod tests {
         let cfg = EndpointConfig { initial_cwnd: 2, ..EndpointConfig::default() };
         let mut a = Endpoint::new(ProcessId(0), cfg);
         let data_out = |e: &mut Endpoint| {
-            std::iter::from_fn(|| e.poll_transmit())
-                .filter(|d| d.header.opcode.is_data())
-                .count()
+            std::iter::from_fn(|| e.poll_transmit()).filter(|d| d.header.opcode.is_data()).count()
         };
         // Two single-packet scatterings occupy the window (unacked).
         a.send_reliable(ts(1), vec![Message::new(ProcessId(1), "w1")]).unwrap();
@@ -1545,11 +1616,7 @@ mod tests {
         // b "recovers": the controller tells it that scattering seq=1 was
         // recalled (undeliverable recall) and that a failed at ts=150 —
         // so only the first message survives.
-        b.recover(
-            ts(1_000),
-            &[(ProcessId(0), ts(150))],
-            &[(ProcessId(0), ts(200), 1)],
-        );
+        b.recover(ts(1_000), &[(ProcessId(0), ts(150))], &[(ProcessId(0), ts(200), 1)]);
         b.on_barrier(Timestamp::ZERO, ts(10_000));
         let got = b.recv_reliable().unwrap();
         assert_eq!(got.payload, Bytes::from_static(b"keep"));
@@ -1562,8 +1629,7 @@ mod tests {
         // when the barrier passes, the receiver discards the incomplete
         // message and NAKs, and the sender reports the send failure.
         let (mut a, mut b) = two();
-        a.send_unreliable(ts(100), vec![Message::new(ProcessId(1), vec![7u8; 3000])])
-            .unwrap();
+        a.send_unreliable(ts(100), vec![Message::new(ProcessId(1), vec![7u8; 3000])]).unwrap();
         let mut idx = 0;
         while let Some(d) = a.poll_transmit() {
             if d.dst == ProcessId(1) {
@@ -1592,9 +1658,7 @@ mod tests {
         // the same packet twice — before and after delivery.
         let (mut a, mut b) = two();
         a.send_reliable(ts(100), vec![Message::new(ProcessId(1), "once")]).unwrap();
-        let d = std::iter::from_fn(|| a.poll_transmit())
-            .find(|d| d.dst == ProcessId(1))
-            .unwrap();
+        let d = std::iter::from_fn(|| a.poll_transmit()).find(|d| d.dst == ProcessId(1)).unwrap();
         // First copy arrives; its ACK is lost.
         b.handle_datagram(ts(101), d.clone());
         while b.poll_transmit().is_some() {}
@@ -1607,8 +1671,7 @@ mod tests {
         b.handle_datagram(ts(300), d);
         b.on_barrier(Timestamp::ZERO, ts(400));
         assert!(b.recv_reliable().is_none(), "no duplicate delivery");
-        let ack = std::iter::from_fn(|| b.poll_transmit())
-            .find(|x| x.header.opcode == Opcode::Ack);
+        let ack = std::iter::from_fn(|| b.poll_transmit()).find(|x| x.header.opcode == Opcode::Ack);
         assert!(ack.is_some(), "late duplicates are re-ACKed");
         assert_eq!(b.stats.delivered_rel, 1);
     }
@@ -1660,10 +1723,7 @@ mod tests {
         // CRITICAL: before B acknowledges the recall, the commit frontier
         // must still exclude the aborted scattering's timestamp.
         let frontier = a.commit_contribution(ts(300));
-        assert!(
-            frontier < ts(100),
-            "commit frontier {frontier:?} must hold below the aborted ts"
-        );
+        assert!(frontier < ts(100), "commit frontier {frontier:?} must hold below the aborted ts");
         // Deliver the Recall; B discards and acks; frontier then advances.
         let (_, _) = pump(&mut a, &mut b, ts(301));
         pump(&mut b, &mut a, ts(302));

@@ -65,10 +65,7 @@ pub fn fragment_message(seq: u64, midx: u16, data: &Bytes, mtu_payload: usize) -
 /// Parse a fragment payload back into `(seq, midx, application bytes)`.
 pub fn parse_fragment(mut payload: Bytes) -> onepipe_types::Result<(u64, u16, Bytes)> {
     if payload.len() < FRAG_PREFIX {
-        return Err(onepipe_types::Error::Truncated {
-            needed: FRAG_PREFIX,
-            got: payload.len(),
-        });
+        return Err(onepipe_types::Error::Truncated { needed: FRAG_PREFIX, got: payload.len() });
     }
     let seq = payload.get_u64();
     let midx = payload.get_u16();
@@ -150,12 +147,7 @@ mod tests {
     fn extra_flags_do_not_collide_with_wire_flags() {
         // START_OF_MESSAGE and REL_CHANNEL must not overlap the wire-level
         // flags defined in onepipe-types.
-        for f in [
-            Flags::END_OF_MESSAGE,
-            Flags::ECN,
-            Flags::RETRANSMIT,
-            Flags::SCATTERING,
-        ] {
+        for f in [Flags::END_OF_MESSAGE, Flags::ECN, Flags::RETRANSMIT, Flags::SCATTERING] {
             assert_eq!(START_OF_MESSAGE.bits() & f.bits(), 0);
             assert_eq!(REL_CHANNEL.bits() & f.bits(), 0);
         }

@@ -83,20 +83,39 @@ impl ClusterConfig {
     }
 }
 
+/// Observer hook for chaos campaigns: sees every delivery, user event and
+/// periodic per-endpoint barrier snapshot across the whole cluster, in
+/// deterministic time order. Unlike [`AppHook`] it cannot inject work —
+/// it is a passive, continuously-checked oracle surface.
+pub trait ChaosHook {
+    /// A message was delivered to an application somewhere in the cluster.
+    fn on_delivery(&mut self, _rec: &DeliveryRecord) {}
+
+    /// A user event (send failure, recall, commit, failure callback) was
+    /// surfaced on `proc`.
+    fn on_user_event(&mut self, _at: u64, _proc: ProcessId, _ev: &crate::events::UserEvent) {}
+
+    /// Periodic snapshot of one endpoint's `(best-effort, commit)` barrier
+    /// pair, taken every [`Cluster::set_chaos_sample_stride`] nanoseconds.
+    fn on_barrier_sample(
+        &mut self,
+        _at: u64,
+        _proc: ProcessId,
+        _be: Timestamp,
+        _commit: Timestamp,
+    ) {
+    }
+}
+
+/// Default spacing of chaos barrier snapshots, ns.
+const DEFAULT_CHAOS_SAMPLE_STRIDE: u64 = 10_000;
+
 /// A management-network message in flight.
 #[derive(Debug)]
 enum MgmtMsg {
-    Announce {
-        to: ProcessId,
-        id: u64,
-        failures: Vec<(ProcessId, Timestamp)>,
-    },
-    Resume {
-        dead: NodeId,
-    },
-    Forward {
-        dgram: Datagram,
-    },
+    Announce { to: ProcessId, id: u64, failures: Vec<(ProcessId, Timestamp)> },
+    Resume { at: NodeId, input: NodeId },
+    Forward { dgram: Datagram },
 }
 
 struct MgmtEntry {
@@ -142,6 +161,11 @@ pub struct Cluster {
     mgmt_delay: u64,
     mgmt_serialize: u64,
     delivery_cursor: usize,
+    chaos: Option<Rc<RefCell<dyn ChaosHook>>>,
+    chaos_delivery_cursor: usize,
+    chaos_event_cursor: usize,
+    chaos_sample_stride: u64,
+    chaos_next_sample: u64,
     /// The cluster configuration it was built with.
     pub config: ClusterConfig,
 }
@@ -150,8 +174,7 @@ impl Cluster {
     /// Build a cluster.
     pub fn new(mut cfg: ClusterConfig) -> Self {
         // Barrier trust must match the switch incarnation (§6.2.2).
-        cfg.endpoint.trust_data_barriers =
-            matches!(cfg.switch.incarnation, Incarnation::Chip);
+        cfg.endpoint.trust_data_barriers = matches!(cfg.switch.incarnation, Incarnation::Chip);
 
         let mut sim = Sim::new(cfg.seed);
         let topo = Rc::new(Topology::build(&mut sim, cfg.topo.clone()));
@@ -219,8 +242,28 @@ impl Cluster {
             mgmt_delay: cfg.mgmt_delay,
             mgmt_serialize: cfg.mgmt_serialize,
             delivery_cursor: 0,
+            chaos: None,
+            chaos_delivery_cursor: 0,
+            chaos_event_cursor: 0,
+            chaos_sample_stride: DEFAULT_CHAOS_SAMPLE_STRIDE,
+            chaos_next_sample: 0,
             config: cfg,
         }
+    }
+
+    /// Attach a chaos observer; it starts seeing deliveries, user events
+    /// and barrier snapshots from the current time on.
+    pub fn set_chaos(&mut self, hook: Rc<RefCell<dyn ChaosHook>>) {
+        self.chaos_delivery_cursor = self.deliveries.borrow().len();
+        self.chaos_event_cursor = self.user_events.borrow().len();
+        self.chaos_next_sample = self.sim.now();
+        self.chaos = Some(hook);
+    }
+
+    /// Change the spacing of chaos barrier snapshots (ns).
+    pub fn set_chaos_sample_stride(&mut self, stride: u64) {
+        assert!(stride > 0);
+        self.chaos_sample_stride = stride;
     }
 
     /// Attach a shared application hook to every host.
@@ -229,12 +272,7 @@ impl Cluster {
             let node = self.topo.host_node(HostId(h as u32));
             let app = app.clone();
             self.sim.with_node(node, move |logic, _| {
-                logic
-                    .as_any_mut()
-                    .unwrap()
-                    .downcast_mut::<HostLogic>()
-                    .unwrap()
-                    .set_app(app);
+                logic.as_any_mut().unwrap().downcast_mut::<HostLogic>().unwrap().set_app(app);
             });
         }
     }
@@ -243,12 +281,7 @@ impl Cluster {
     pub fn set_traffic(&mut self, host: HostId, traffic: BackgroundTraffic) {
         let node = self.topo.host_node(host);
         self.sim.with_node(node, move |logic, _| {
-            logic
-                .as_any_mut()
-                .unwrap()
-                .downcast_mut::<HostLogic>()
-                .unwrap()
-                .set_traffic(traffic);
+            logic.as_any_mut().unwrap().downcast_mut::<HostLogic>().unwrap().set_traffic(traffic);
         });
     }
 
@@ -260,10 +293,7 @@ impl Cluster {
         msgs: Vec<Message>,
         reliable: bool,
     ) -> onepipe_types::Result<Timestamp> {
-        let host = self
-            .procs
-            .host_of(from)
-            .ok_or(onepipe_types::Error::UnknownProcess(from))?;
+        let host = self.procs.host_of(from).ok_or(onepipe_types::Error::UnknownProcess(from))?;
         let node = self.topo.host_node(host);
         self.sim
             .with_node(node, |logic, ctx| {
@@ -277,10 +307,34 @@ impl Cluster {
             .unwrap_or(Err(onepipe_types::Error::ProcessFailed(from)))
     }
 
+    /// Like [`send`](Self::send), additionally returning the scattering
+    /// sequence number so a chaos oracle can register the intended
+    /// receiver set under `(sender, seq)`.
+    pub fn send_traced(
+        &mut self,
+        from: ProcessId,
+        msgs: Vec<Message>,
+        reliable: bool,
+    ) -> onepipe_types::Result<(Timestamp, u64)> {
+        let host = self.procs.host_of(from).ok_or(onepipe_types::Error::UnknownProcess(from))?;
+        let node = self.topo.host_node(host);
+        self.sim
+            .with_node(node, |logic, ctx| {
+                logic
+                    .as_any_mut()
+                    .unwrap()
+                    .downcast_mut::<HostLogic>()
+                    .unwrap()
+                    .send_from_traced(ctx, from, msgs, reliable)
+            })
+            .unwrap_or(Err(onepipe_types::Error::ProcessFailed(from)))
+    }
+
     /// Run until simulation time `t_end`, pumping the control plane.
     pub fn run_until(&mut self, t_end: u64) {
         loop {
             self.pump_control();
+            self.pump_chaos();
             let sim_next = self.sim.peek_time();
             let mgmt_next = self.mgmt.peek().map(|Reverse(e)| e.at);
             let next = match (sim_next, mgmt_next) {
@@ -302,6 +356,7 @@ impl Cluster {
         }
         self.sim.run_until(t_end);
         self.pump_control();
+        self.pump_chaos();
     }
 
     /// Run for `dt` more nanoseconds.
@@ -351,8 +406,13 @@ impl Cluster {
         let hn = self.topo.host_node(host);
         let tor_up = self.topo.tor_up_of(host);
         let tor_down = self.sim.in_neighbors(hn).first().copied().expect("host has a downlink");
-        self.sim.schedule_link_admin(at, LinkId::new(hn, tor_up), up);
-        self.sim.schedule_link_admin(at, LinkId::new(tor_down, hn), up);
+        for link in [LinkId::new(hn, tor_up), LinkId::new(tor_down, hn)] {
+            if up {
+                self.sim.schedule_link_up(at, link);
+            } else {
+                self.sim.schedule_link_down(at, link);
+            }
+        }
     }
 
     /// Take a core-adjacent fabric link down (both directions).
@@ -387,14 +447,29 @@ impl Cluster {
         self.controller.failures().collect()
     }
 
+    /// Failure-handling still in flight at the controller: for each pending
+    /// failure, `(announce_id, expected, completed)` callback sets
+    /// (telemetry / chaos triage).
+    pub fn controller_pending(&self) -> Vec<(Option<u64>, Vec<ProcessId>, Vec<ProcessId>)> {
+        self.controller
+            .pending_failures()
+            .map(|p| {
+                (
+                    p.announce_id,
+                    p.expected.iter().copied().collect(),
+                    p.completed.iter().copied().collect(),
+                )
+            })
+            .collect()
+    }
+
     /// Aggregate endpoint statistics across all (live) hosts.
     pub fn total_stats(&mut self) -> crate::endpoint::EndpointStats {
         let mut total = crate::endpoint::EndpointStats::default();
         for h in 0..self.topo.num_hosts() {
             let host = HostId(h as u32);
-            let stats = self.with_host(host, |hl, _| {
-                hl.endpoints.iter().map(|e| e.stats).collect::<Vec<_>>()
-            });
+            let stats = self
+                .with_host(host, |hl, _| hl.endpoints.iter().map(|e| e.stats).collect::<Vec<_>>());
             if let Some(stats) = stats {
                 for s in stats {
                     total.scatterings_sent += s.scatterings_sent;
@@ -413,6 +488,53 @@ impl Cluster {
         total
     }
 
+    /// Feed new deliveries, user events and due barrier snapshots to the
+    /// chaos hook. Called between simulator events so the oracle observes
+    /// the run continuously, not just at test end.
+    fn pump_chaos(&mut self) {
+        let Some(hook) = self.chaos.clone() else { return };
+        // Deliveries since the last pump (cloned out so the hook can't
+        // observe a live borrow of the shared log).
+        let new_d: Vec<DeliveryRecord> = {
+            let all = self.deliveries.borrow();
+            all[self.chaos_delivery_cursor..].to_vec()
+        };
+        self.chaos_delivery_cursor += new_d.len();
+        {
+            let mut h = hook.borrow_mut();
+            for rec in &new_d {
+                h.on_delivery(rec);
+            }
+        }
+        let new_e: Vec<(u64, ProcessId, crate::events::UserEvent)> = {
+            let all = self.user_events.borrow();
+            all[self.chaos_event_cursor..].to_vec()
+        };
+        self.chaos_event_cursor += new_e.len();
+        {
+            let mut h = hook.borrow_mut();
+            for (at, p, ev) in &new_e {
+                h.on_user_event(*at, *p, ev);
+            }
+        }
+        let now = self.sim.now();
+        if now >= self.chaos_next_sample {
+            for hidx in 0..self.topo.num_hosts() {
+                let host = HostId(hidx as u32);
+                let samples = self.with_host(host, |hl, _| {
+                    hl.endpoints.iter().map(|e| (e.id(), e.barriers())).collect::<Vec<_>>()
+                });
+                if let Some(samples) = samples {
+                    let mut h = hook.borrow_mut();
+                    for (p, (be, commit)) in samples {
+                        h.on_barrier_sample(now, p, be, commit);
+                    }
+                }
+            }
+            self.chaos_next_sample = now + self.chaos_sample_stride;
+        }
+    }
+
     // ------------------------------------------------------------------
     // Control plane pumping
     // ------------------------------------------------------------------
@@ -429,14 +551,15 @@ impl Cluster {
         let mut actions = Vec::new();
         for ev in events {
             let SwitchEvent::InLinkDead { switch, from, last_commit, at } = ev;
-            actions.extend(self.controller.apply(
-                CtrlEvent::Detect { reporter: switch, dead: from, last_commit, at },
-                now,
-            ));
+            actions.extend(
+                self.controller.apply(
+                    CtrlEvent::Detect { reporter: switch, dead: from, last_commit, at },
+                    now,
+                ),
+            );
         }
         // Endpoint control requests.
-        let reqs: Vec<(ProcessId, CtrlRequest)> =
-            self.ctrl_outbox.borrow_mut().drain(..).collect();
+        let reqs: Vec<(ProcessId, CtrlRequest)> = self.ctrl_outbox.borrow_mut().drain(..).collect();
         for (from, req) in reqs {
             match req {
                 CtrlRequest::CallbackComplete { announce_id } => {
@@ -446,10 +569,12 @@ impl Cluster {
                     );
                 }
                 CtrlRequest::UndeliverableRecall { to, ts, seq } => {
-                    actions.extend(self.controller.apply(
-                        CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from },
-                        now,
-                    ));
+                    actions.extend(
+                        self.controller.apply(
+                            CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from },
+                            now,
+                        ),
+                    );
                 }
                 CtrlRequest::Forward { dgram } => {
                     // Controller relays after two management hops.
@@ -471,8 +596,8 @@ impl Cluster {
                         MgmtMsg::Announce { to, id, failures },
                     );
                 }
-                CtrlAction::Resume { dead_node } => {
-                    self.push_mgmt(now + self.mgmt_delay, MgmtMsg::Resume { dead: dead_node });
+                CtrlAction::Resume { at: site, input } => {
+                    self.push_mgmt(now + self.mgmt_delay, MgmtMsg::Resume { at: site, input });
                 }
                 CtrlAction::RecoveryInfo { .. } => { /* receiver recovery: not routed in-sim */ }
             }
@@ -493,20 +618,17 @@ impl Cluster {
                         .deliver_announcement(ctx, to, id, &failures);
                 });
             }
-            MgmtMsg::Resume { dead } => {
-                // Every switch downstream of the dead node drops it from
-                // commit aggregation.
-                let neighbors: Vec<NodeId> = self.sim.out_neighbors(dead).to_vec();
-                for n in neighbors {
-                    self.sim.with_node(n, |logic, ctx| {
-                        if let Some(any) = logic.as_any_mut() {
-                            if let Some(sw) = any.downcast_mut::<SwitchLogic>() {
-                                sw.remove_commit_input(dead);
-                                let _ = ctx;
-                            }
+            MgmtMsg::Resume { at, input } => {
+                // The reporting switch drops exactly the reported dead
+                // input link from its commit aggregation (§5.2 Resume).
+                self.sim.with_node(at, |logic, ctx| {
+                    if let Some(any) = logic.as_any_mut() {
+                        if let Some(sw) = any.downcast_mut::<SwitchLogic>() {
+                            sw.remove_commit_input(input);
+                            let _ = ctx;
                         }
-                    });
-                }
+                    }
+                });
             }
             MgmtMsg::Forward { dgram } => {
                 let Some(host) = self.procs.host_of(dgram.dst) else { return };
@@ -607,8 +729,7 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::testbed(32));
         c.run_for(50 * MICROS);
         // Process 0 (host 0, pod 0) to process 31 (host 31, pod 1).
-        c.send(ProcessId(0), vec![Message::new(ProcessId(31), "cross-pod")], true)
-            .unwrap();
+        c.send(ProcessId(0), vec![Message::new(ProcessId(31), "cross-pod")], true).unwrap();
         c.run_for(200 * MICROS);
         let d = c.take_deliveries();
         assert_eq!(d.len(), 1);
@@ -706,4 +827,3 @@ mod tests {
         assert_eq!(run(), run());
     }
 }
-

@@ -44,9 +44,7 @@ struct PendingMsg {
 impl PendingMsg {
     fn is_complete(&self) -> bool {
         match (self.start_psn, self.end_psn) {
-            (Some(s), Some(e)) => {
-                e.wrapping_sub(s) as usize + 1 == self.frags.len()
-            }
+            (Some(s), Some(e)) => e.wrapping_sub(s) as usize + 1 == self.frags.len(),
             _ => false,
         }
     }
@@ -193,17 +191,11 @@ impl ReorderBuffer {
         if self.unordered {
             return (delivered, failed);
         }
-        if barrier == Timestamp::ZERO
-            || (self.edge != Timestamp::ZERO && barrier <= self.edge)
-        {
+        if barrier == Timestamp::ZERO || (self.edge != Timestamp::ZERO && barrier <= self.edge) {
             return (delivered, failed);
         }
         while let Some((&mk, _)) = self.pending.first_key_value() {
-            let passes = if self.inclusive {
-                mk.key.ts <= barrier
-            } else {
-                mk.key.ts < barrier
-            };
+            let passes = if self.inclusive { mk.key.ts <= barrier } else { mk.key.ts < barrier };
             if !passes {
                 break;
             }
@@ -247,9 +239,7 @@ impl ReorderBuffer {
         let doomed: Vec<MsgKey> = self
             .pending
             .keys()
-            .filter(|mk| {
-                mk.key.sender == sender && mk.key.ts == ts && mk.key.seq == seq
-            })
+            .filter(|mk| mk.key.sender == sender && mk.key.ts == ts && mk.key.seq == seq)
             .copied()
             .collect();
         for mk in &doomed {
@@ -266,11 +256,7 @@ mod tests {
     use crate::frag::{fragment_message, parse_fragment};
 
     fn key(ts: u64, sender: u32, seq: u64) -> OrderKey {
-        OrderKey {
-            ts: Timestamp::from_nanos(ts),
-            sender: ProcessId(sender),
-            seq,
-        }
+        OrderKey { ts: Timestamp::from_nanos(ts), sender: ProcessId(sender), seq }
     }
 
     fn both_flags() -> Flags {

@@ -50,7 +50,13 @@ impl SendQueue {
     }
 
     /// Queue a unicast message.
-    pub fn unicast(&mut self, from: ProcessId, to: ProcessId, payload: impl Into<Bytes>, reliable: bool) {
+    pub fn unicast(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: impl Into<Bytes>,
+        reliable: bool,
+    ) {
         self.push(from, vec![Message::new(to, payload)], reliable);
     }
 
@@ -167,6 +173,12 @@ impl HostLogic {
         self.traffic = Some(traffic);
     }
 
+    /// Inject a clock-skew spike of `offset_ns` at true time `true_now`
+    /// (chaos testing). Negative spikes are absorbed by the monotonic slew.
+    pub fn perturb_clock(&mut self, true_now: u64, offset_ns: f64) {
+        self.clock.perturb(true_now, offset_ns);
+    }
+
     /// The endpoint of process `p`, if it lives here.
     pub fn endpoint_mut(&mut self, p: ProcessId) -> Option<&mut Endpoint> {
         self.endpoints.iter_mut().find(|e| e.id() == p)
@@ -186,17 +198,32 @@ impl HostLogic {
         msgs: Vec<Message>,
         reliable: bool,
     ) -> onepipe_types::Result<Timestamp> {
+        self.send_from_traced(ctx, from, msgs, reliable).map(|(ts, _)| ts)
+    }
+
+    /// Like [`send_from`](Self::send_from), additionally returning the
+    /// scattering sequence number — chaos oracles join delivery records to
+    /// registered sends by `(sender, seq)`.
+    pub fn send_from_traced(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: ProcessId,
+        msgs: Vec<Message>,
+        reliable: bool,
+    ) -> onepipe_types::Result<(Timestamp, u64)> {
         let local = self.clock.now(ctx.now());
-        let ep = self
-            .endpoint_mut(from)
-            .ok_or(onepipe_types::Error::UnknownProcess(from))?;
-        if reliable {
-            ep.send_reliable(local, msgs)?;
+        let ep = self.endpoint_mut(from).ok_or(onepipe_types::Error::UnknownProcess(from))?;
+        let sid = if reliable {
+            ep.send_reliable(local, msgs)?
         } else {
-            ep.send_unreliable(local, msgs)?;
-        }
+            ep.send_unreliable(local, msgs)?
+        };
+        // Report the timestamp the scattering was actually assigned — the
+        // endpoint clamps the raw clock reading (monotonicity, commit
+        // barrier, observed deliveries), so `local` may be too low.
+        let ts = ep.last_assigned_ts();
         self.flush(ctx);
-        Ok(local)
+        Ok((ts, sid.seq))
     }
 
     /// Deliver a controller failure announcement to a local process.
@@ -273,8 +300,7 @@ impl HostLogic {
                     any = true;
                     let mut complete = true;
                     if let Some(app) = &self.app {
-                        complete =
-                            app.borrow_mut().on_user_event(now, receiver, &ev, &mut queue);
+                        complete = app.borrow_mut().on_user_event(now, receiver, &ev, &mut queue);
                     }
                     if complete {
                         if let UserEvent::ProcessFailed { announce_id, .. } = &ev {
@@ -467,7 +493,7 @@ mod tests {
     use super::*;
     use crate::config::EndpointConfig;
     use onepipe_clock::MonotonicClock;
-    use onepipe_netsim::engine::{NodeLogic as _, Sim};
+    use onepipe_netsim::engine::Sim;
     use onepipe_netsim::link::LinkParams;
     use onepipe_types::time::MICROS;
     use onepipe_types::wire::Opcode;
@@ -487,18 +513,17 @@ mod tests {
         }
     }
 
-    fn host_under_probe(
-        n_procs: u32,
-    ) -> (Sim, onepipe_types::ids::NodeId, Rc<RefCell<Vec<(u64, Datagram)>>>) {
+    type ProbeLog = Rc<RefCell<Vec<(u64, Datagram)>>>;
+
+    fn host_under_probe(n_procs: u32) -> (Sim, onepipe_types::ids::NodeId, ProbeLog) {
         let mut sim = Sim::new(1);
         let host_node = sim.add_node();
         let switch_node = sim.add_node();
         sim.add_duplex_link(host_node, switch_node, LinkParams::default());
         let log = Rc::new(RefCell::new(Vec::new()));
         sim.set_logic(switch_node, Box::new(SwitchProbe { log: log.clone() }));
-        let endpoints = (0..n_procs)
-            .map(|i| Endpoint::new(ProcessId(i), EndpointConfig::default()))
-            .collect();
+        let endpoints =
+            (0..n_procs).map(|i| Endpoint::new(ProcessId(i), EndpointConfig::default())).collect();
         let logic = HostLogic::new(
             HostId(0),
             switch_node,
@@ -540,13 +565,8 @@ mod tests {
         // though process 1 is idle.
         sim.with_node(host, |logic, ctx| {
             let hl = logic.as_any_mut().unwrap().downcast_mut::<HostLogic>().unwrap();
-            hl.send_from(
-                ctx,
-                ProcessId(0),
-                vec![Message::new(ProcessId(5), "outstanding")],
-                true,
-            )
-            .unwrap();
+            hl.send_from(ctx, ProcessId(0), vec![Message::new(ProcessId(5), "outstanding")], true)
+                .unwrap();
         });
         let sent_at = sim.now();
         sim.run_until(sent_at + 10 * MICROS);
@@ -604,8 +624,7 @@ mod tests {
         sim.run_until(5 * MICROS);
         sim.with_node(host, |logic, ctx| {
             let hl = logic.as_any_mut().unwrap().downcast_mut::<HostLogic>().unwrap();
-            hl.send_from(ctx, ProcessId(0), vec![Message::new(ProcessId(9), "x")], true)
-                .unwrap();
+            hl.send_from(ctx, ProcessId(0), vec![Message::new(ProcessId(9), "x")], true).unwrap();
         });
         // Let the data packet reach the switch probe.
         sim.run_until(sim.now() + 5 * MICROS);
@@ -637,11 +656,8 @@ mod tests {
             hl.flush(ctx);
         });
         sim.run_until(sim.now() + 5 * MICROS);
-        let commits = log
-            .borrow()
-            .iter()
-            .filter(|(_, d)| d.header.opcode == Opcode::Commit)
-            .count();
+        let commits =
+            log.borrow().iter().filter(|(_, d)| d.header.opcode == Opcode::Commit).count();
         assert!(commits >= 1, "commit message must reach the first-hop switch");
     }
 }

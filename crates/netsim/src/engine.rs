@@ -55,6 +55,8 @@ enum EventKind {
     Arrive { to: NodeId, from: NodeId, pkt: SimPacket },
     Timer { node: NodeId, token: u64 },
     LinkAdmin { link: LinkId, up: bool },
+    LinkLoss { link: LinkId, rate: f64 },
+    GlobalLoss { rate: f64 },
     Crash { node: NodeId },
     Start { node: NodeId },
 }
@@ -175,36 +177,29 @@ impl<'a> Ctx<'a> {
 
     /// Arm a timer that fires `delay` ns from now with the given token.
     pub fn set_timer(&mut self, delay: Duration, token: u64) {
-        push(
-            self.queue,
-            self.seq,
-            self.now + delay,
-            EventKind::Timer { node: self.node, token },
-        );
+        push(self.queue, self.seq, self.now + delay, EventKind::Timer { node: self.node, token });
     }
 
     /// Inspect the queue occupancy of an outgoing link, in bytes.
     pub fn link_queue_bytes(&self, to: NodeId) -> Option<u64> {
-        self.links
-            .get(&LinkId::new(self.node, to))
-            .map(|l| l.queue_bytes(self.now))
+        self.links.get(&LinkId::new(self.node, to)).map(|l| l.queue_bytes(self.now))
     }
 
     /// Whether the outgoing link to `to` is up.
     pub fn link_is_up(&self, to: NodeId) -> bool {
-        self.links
-            .get(&LinkId::new(self.node, to))
-            .map(|l| l.is_up())
-            .unwrap_or(false)
+        self.links.get(&LinkId::new(self.node, to)).map(|l| l.is_up()).unwrap_or(false)
+    }
+
+    /// Whether an arbitrary directed link `from → to` is up. Switch logic
+    /// uses this as the global link-state database a converged routing
+    /// protocol would provide: forwarding avoids next hops whose entire
+    /// downstream path is dead, not just hops behind a locally-down port.
+    pub fn global_link_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.get(&LinkId::new(from, to)).map(|l| l.is_up()).unwrap_or(false)
     }
 }
 
-fn push(
-    queue: &mut BinaryHeap<Reverse<Scheduled>>,
-    seq: &mut u64,
-    time: u64,
-    kind: EventKind,
-) {
+fn push(queue: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, time: u64, kind: EventKind) {
     *seq += 1;
     queue.push(Reverse(Scheduled { time, seq: *seq, kind }));
 }
@@ -273,10 +268,7 @@ impl Sim {
     /// Add a directed link with the given parameters.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
         let id = LinkId::new(from, to);
-        assert!(
-            self.links.insert(id, Link::new(params)).is_none(),
-            "duplicate link {id:?}"
-        );
+        assert!(self.links.insert(id, Link::new(params)).is_none(), "duplicate link {id:?}");
         self.out_neighbors[from.0 as usize].push(to);
         self.in_neighbors[to.0 as usize].push(from);
     }
@@ -308,6 +300,31 @@ impl Sim {
     pub fn schedule_link_admin(&mut self, at: u64, link: LinkId, up: bool) {
         assert!(at >= self.now);
         push(&mut self.queue, &mut self.seq, at, EventKind::LinkAdmin { link, up });
+    }
+
+    /// Schedule the directed link to go administratively down at `at`.
+    pub fn schedule_link_down(&mut self, at: u64, link: LinkId) {
+        self.schedule_link_admin(at, link, false);
+    }
+
+    /// Schedule the directed link to come administratively up at `at`.
+    pub fn schedule_link_up(&mut self, at: u64, link: LinkId) {
+        self.schedule_link_admin(at, link, true);
+    }
+
+    /// Schedule a per-link loss-rate change at `at` (absolute ns). Pairs of
+    /// these model a loss burst without the harness mutating links mid-loop.
+    pub fn schedule_link_loss(&mut self, at: u64, link: LinkId, rate: f64) {
+        assert!(at >= self.now);
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        push(&mut self.queue, &mut self.seq, at, EventKind::LinkLoss { link, rate });
+    }
+
+    /// Schedule a network-wide loss-rate change at `at` (absolute ns).
+    pub fn schedule_global_loss(&mut self, at: u64, rate: f64) {
+        assert!(at >= self.now);
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        push(&mut self.queue, &mut self.seq, at, EventKind::GlobalLoss { rate });
     }
 
     /// Schedule a node crash at `at` (absolute ns): the node stops
@@ -408,10 +425,24 @@ impl Sim {
             EventKind::LinkAdmin { link, up } => {
                 if let Some(l) = self.links.get_mut(&link) {
                     l.set_up(up);
+                    self.stats.faults_link_flaps += 1;
                 }
+            }
+            EventKind::LinkLoss { link, rate } => {
+                if let Some(l) = self.links.get_mut(&link) {
+                    l.params.loss_rate = rate;
+                    self.stats.faults_loss_bursts += 1;
+                }
+            }
+            EventKind::GlobalLoss { rate } => {
+                for l in self.links.values_mut() {
+                    l.params.loss_rate = rate;
+                }
+                self.stats.faults_loss_bursts += 1;
             }
             EventKind::Crash { node } => {
                 self.crashed[node.0 as usize] = true;
+                self.stats.faults_crashes += 1;
                 // Take both directions of every attached link down.
                 for peer in self.out_neighbors[node.0 as usize].clone() {
                     if let Some(l) = self.links.get_mut(&LinkId::new(node, peer)) {
@@ -632,6 +663,71 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(log.borrow().len(), 0);
         assert_eq!(sim.stats.drops_link_down, 10);
+    }
+
+    #[test]
+    fn scheduled_link_down_up_and_fault_counters() {
+        let (mut sim, a, b, log) = two_node_sim(LinkParams::default());
+        let fwd = LinkId::new(a, b);
+        sim.schedule_link_down(0, fwd);
+        sim.schedule_link_up(10_000, fwd);
+        sim.run_until(0);
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 3 }));
+        sim.run_until(5_000);
+        assert_eq!(log.borrow().len(), 0, "link is down");
+        sim.run_until(10_000); // link back up
+        sim.with_node(a, |_, ctx| {
+            ctx.send(NodeId(1), SimPacket::new(dgram(7)));
+        });
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(sim.stats.faults_link_flaps, 2);
+        assert_eq!(sim.stats.faults_injected(), 2);
+    }
+
+    #[test]
+    fn scheduled_loss_burst_applies_and_clears() {
+        let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
+        // `with_node` needs logic installed; an exhausted Blaster is idle.
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 0 }));
+        let fwd = LinkId::new(a, NodeId(1));
+        // Burst of total loss in [0, 50µs), then clean again.
+        sim.schedule_link_loss(0, fwd, 1.0);
+        sim.schedule_link_loss(50_000, fwd, 0.0);
+        sim.run_until(0);
+        sim.with_node(a, |_, ctx| {
+            for i in 0..5 {
+                ctx.send(NodeId(1), SimPacket::new(dgram(i)));
+            }
+        });
+        sim.run_until(50_000);
+        assert_eq!(log.borrow().len(), 0, "all packets lost in burst");
+        sim.with_node(a, |_, ctx| {
+            ctx.send(NodeId(1), SimPacket::new(dgram(9)));
+        });
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(sim.stats.faults_loss_bursts, 2);
+        assert_eq!(sim.stats.drops_inflight, 5);
+    }
+
+    #[test]
+    fn scheduled_global_loss_affects_all_links() {
+        let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
+        sim.schedule_global_loss(0, 1.0);
+        sim.run_until(0);
+        sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 4 }));
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(sim.stats.faults_loss_bursts, 1);
+    }
+
+    #[test]
+    fn crash_increments_fault_counter() {
+        let (mut sim, _a, b, _log) = two_node_sim(LinkParams::default());
+        sim.schedule_crash(0, b);
+        sim.run_to_completion();
+        assert_eq!(sim.stats.faults_crashes, 1);
     }
 
     #[test]

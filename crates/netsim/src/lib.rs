@@ -34,7 +34,7 @@ pub mod traffic;
 
 pub use engine::{Ctx, NodeLogic, Sim, SimPacket};
 pub use link::{Link, LinkParams};
+pub use pcap::PcapWriter;
 pub use stats::Stats;
 pub use topology::{FatTreeParams, NodeRole, Topology};
-pub use pcap::PcapWriter;
 pub use trace::{TraceRecord, Tracer, TracerHandle};

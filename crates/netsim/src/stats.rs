@@ -19,6 +19,20 @@ pub struct Stats {
     pub drops_no_logic: u64,
     /// ECN marks applied.
     pub ecn_marks: u64,
+    /// Injected node crashes (hosts and switches) executed by the engine.
+    pub faults_crashes: u64,
+    /// Injected administrative link transitions (down or up) executed.
+    pub faults_link_flaps: u64,
+    /// Injected loss-rate mutations (per-link or global) executed.
+    pub faults_loss_bursts: u64,
+}
+
+impl Stats {
+    /// Total injected faults of all kinds — lets campaign reports
+    /// cross-check injected faults against observed drops.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_crashes + self.faults_link_flaps + self.faults_loss_bursts
+    }
 }
 
 /// A reservoir of latency (or other scalar) samples with percentile

@@ -167,8 +167,7 @@ impl Topology {
 
         let mut tor_up = vec![vec![NodeId(0); p.tors_per_pod as usize]; p.pods as usize];
         let mut tor_down = tor_up.clone();
-        let mut spine_up =
-            vec![vec![NodeId(0); p.spines_per_pod as usize]; p.pods as usize];
+        let mut spine_up = vec![vec![NodeId(0); p.spines_per_pod as usize]; p.pods as usize];
         let mut spine_down = spine_up.clone();
         let mut cores = Vec::new();
         for pod in 0..p.pods {
@@ -190,8 +189,7 @@ impl Topology {
         }
 
         let fabric = LinkParams {
-            bandwidth_bps: (p.fabric_link.bandwidth_bps as f64 / p.oversubscription)
-                as u64,
+            bandwidth_bps: (p.fabric_link.bandwidth_bps as f64 / p.oversubscription) as u64,
             ..p.fabric_link
         };
 
@@ -264,9 +262,7 @@ impl Topology {
                             cores
                                 .iter()
                                 .enumerate()
-                                .filter(|(c, _)| {
-                                    c % p.spines_per_pod as usize == idx as usize
-                                })
+                                .filter(|(c, _)| c % p.spines_per_pod as usize == idx as usize)
                                 .map(|(_, &cn)| cn)
                                 .collect()
                         }
@@ -328,6 +324,25 @@ impl Topology {
 
     /// Pick one ECMP next hop by flow hash (stable per src/dst pair).
     pub fn route(&self, at: NodeId, src: HostId, dst: HostId) -> Option<NodeId> {
+        self.route_live(at, src, dst, |_, _| true)
+    }
+
+    /// ECMP with failure awareness: `up` is a global directed-link-state
+    /// oracle (the converged view a routing protocol would distribute).
+    /// A next hop is *viable* when its link is up and the destination is
+    /// still reachable through it — so a ToR skips a spine whose only
+    /// core died even though the ToR→spine link itself is healthy. The
+    /// flow keeps its hash-chosen path while that path is viable (no
+    /// reordering in the fault-free case) and fails over — rehashed over
+    /// the viable survivors — when it is not. Models the paper's
+    /// assumption that routing reroutes around failed links (§4.2).
+    pub fn route_live(
+        &self,
+        at: NodeId,
+        src: HostId,
+        dst: HostId,
+        up: impl Fn(NodeId, NodeId) -> bool,
+    ) -> Option<NodeId> {
         let hops = self.next_hops(at, dst);
         if hops.is_empty() {
             return None;
@@ -337,7 +352,37 @@ impl Topology {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(dst.0 as u64)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        Some(hops[(h % hops.len() as u64) as usize])
+        let first = hops[(h % hops.len() as u64) as usize];
+        if self.hop_viable(at, first, dst, &up) {
+            return Some(first);
+        }
+        let live: Vec<NodeId> =
+            hops.iter().copied().filter(|&n| self.hop_viable(at, n, dst, &up)).collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(h % live.len() as u64) as usize])
+    }
+
+    /// Whether forwarding `at → hop` can still deliver to `dst`: the
+    /// immediate link is up and some all-up path continues from `hop`.
+    /// Fat-tree routes form a DAG per destination (up-phase then
+    /// down-phase), so the recursion terminates; depth is bounded by the
+    /// tree height (≤ 4 hops).
+    fn hop_viable(
+        &self,
+        at: NodeId,
+        hop: NodeId,
+        dst: HostId,
+        up: &impl Fn(NodeId, NodeId) -> bool,
+    ) -> bool {
+        if !up(at, hop) {
+            return false;
+        }
+        if hop == self.host_nodes[dst.0 as usize] {
+            return true;
+        }
+        self.next_hops(hop, dst).iter().any(|&n| self.hop_viable(hop, n, dst, up))
     }
 
     /// The ToR uplink switch a host attaches to (its first hop).
@@ -357,9 +402,7 @@ impl Topology {
     pub fn rack_members(&self, h: HostId) -> Vec<HostId> {
         let p = &self.params;
         let rack = h.0 / p.hosts_per_tor;
-        (rack * p.hosts_per_tor..(rack + 1) * p.hosts_per_tor)
-            .map(HostId)
-            .collect()
+        (rack * p.hosts_per_tor..(rack + 1) * p.hosts_per_tor).map(HostId).collect()
     }
 
     /// Hop count (number of links) on the path from `src` to `dst` hosts.
@@ -490,19 +533,12 @@ mod tests {
         params.oversubscription = 4.0;
         let topo = Topology::build(&mut sim, params);
         let tor = topo.tor_up_of(HostId(0));
-        let spine = topo
-            .next_hops(tor, HostId(31))
-            .first()
-            .copied()
-            .unwrap();
-        let link = sim
-            .link(onepipe_types::ids::LinkId::new(tor, spine))
-            .unwrap();
+        let spine = topo.next_hops(tor, HostId(31)).first().copied().unwrap();
+        let link = sim.link(onepipe_types::ids::LinkId::new(tor, spine)).unwrap();
         assert_eq!(link.params.bandwidth_bps, 25_000_000_000);
         // Host links stay at full speed.
-        let host_link = sim
-            .link(onepipe_types::ids::LinkId::new(topo.host_node(HostId(0)), tor))
-            .unwrap();
+        let host_link =
+            sim.link(onepipe_types::ids::LinkId::new(topo.host_node(HostId(0)), tor)).unwrap();
         assert_eq!(host_link.params.bandwidth_bps, 100_000_000_000);
     }
 }

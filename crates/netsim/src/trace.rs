@@ -118,10 +118,7 @@ impl Tracer {
         for r in &self.records {
             *counts.entry(r.opcode as u8).or_default() += 1;
         }
-        counts
-            .into_iter()
-            .map(|(op, n)| (Opcode::from_u8(op).unwrap(), n))
-            .collect()
+        counts.into_iter().map(|(op, n)| (Opcode::from_u8(op).unwrap(), n)).collect()
     }
 
     /// Render the retained window as human-readable lines (for debugging

@@ -159,10 +159,7 @@ mod tests {
         let runtime_ns = 10_000_000; // 10 ms
         sim.run_until(runtime_ns);
         let achieved_bps = *bytes.borrow() as f64 * 8.0 * 1e9 / runtime_ns as f64;
-        assert!(
-            (0.8e9..1.2e9).contains(&achieved_bps),
-            "achieved {achieved_bps:.3e} bps"
-        );
+        assert!((0.8e9..1.2e9).contains(&achieved_bps), "achieved {achieved_bps:.3e} bps");
         assert!(*n.borrow() > 100);
     }
 

@@ -1,0 +1,128 @@
+//! Minimal API-compatible stand-in for the [`criterion`] crate.
+//!
+//! The build environment cannot reach crates.io, so this provides just
+//! enough surface for the workspace's benches to compile and run: each
+//! `bench_function` / `bench_with_input` runs a short calibrated timing
+//! loop and prints mean ns/iter. No statistics, plots, or baselines —
+//! use the real criterion locally for serious measurements.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Register and immediately run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _c: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finish the group (no-op; parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameter point of a benchmark group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Use the parameter's `Display` form as the id.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Function-plus-parameter id.
+    pub fn new<P: std::fmt::Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Runs the measured closure in a timed loop.
+#[derive(Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the iteration count to ~50ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that runs long
+        // enough for the timer to resolve.
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || n >= 1 << 24 {
+                self.mean_ns = dt.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        println!("{name:<44} {:>12.1} ns/iter ({} iters)", self.mean_ns, self.iters);
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

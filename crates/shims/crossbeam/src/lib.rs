@@ -1,0 +1,43 @@
+//! Minimal API-compatible stand-in for the [`crossbeam`] crate.
+//!
+//! The build environment cannot reach crates.io; the workspace only uses
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` with the
+//! `send` / `recv_timeout` / `try_iter` methods, all of which
+//! `std::sync::mpsc` provides with identical semantics for a single
+//! consumer (the only usage pattern in this repo).
+//!
+//! [`crossbeam`]: https://docs.rs/crossbeam
+
+pub mod channel {
+    //! Multi-producer channels, backed by `std::sync::mpsc`.
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(41u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).ok(), Some(41));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)).ok(), None);
+    }
+
+    #[test]
+    fn try_iter_drains() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal API-compatible stand-in for the [`parking_lot`] crate.
+//!
+//! The build environment cannot reach crates.io; the workspace only needs
+//! a `Mutex` with `const fn new` and a non-poisoning `lock()`. Backed by
+//! `std::sync::Mutex`, with poison errors unwrapped into the inner guard
+//! (matching parking_lot's no-poisoning behavior).
+//!
+//! [`parking_lot`]: https://docs.rs/parking_lot
+
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard; derefs to the protected value.
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex (usable in statics).
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Acquire the lock, ignoring poisoning from panicked holders.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire the lock if free.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    static GLOBAL: Mutex<u32> = Mutex::new(5);
+
+    #[test]
+    fn const_static_lock() {
+        let mut g = GLOBAL.lock();
+        *g += 1;
+        assert!(*g >= 6);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+}

@@ -1,0 +1,291 @@
+//! Minimal API-compatible stand-in for the [`proptest`] crate.
+//!
+//! The build environment cannot reach crates.io, so this provides the
+//! slice of proptest the workspace tests use: the `proptest!` macro with
+//! `name(arg in strategy, ...)` signatures, range / tuple / `any` /
+//! `collection::vec` strategies, and `prop_assert*`. Each property runs a
+//! fixed number of deterministically seeded cases. There is no shrinking:
+//! a failing case panics with the seed and case index so it can be
+//! reproduced by rerunning the (deterministic) test.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+/// Number of cases each property runs.
+pub const CASES: u32 = 64;
+
+/// Deterministic RNG feeding strategy generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed RNG so failures reproduce across runs.
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng { state: 0x0197_06F3_5C17_A5D1 ^ salt }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinator implementations.
+    use super::TestRng;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuples {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuples! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value; early cases hit the domain edges.
+        fn arbitrary(rng: &mut TestRng, case: u32) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng, case: u32) -> $t {
+                    // Bias the first cases toward edge values.
+                    match case {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng, _case: u32) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        case: std::cell::Cell<u32>,
+        _marker: PhantomData<T>,
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { case: std::cell::Cell::new(0), _marker: PhantomData }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let c = self.case.get();
+            self.case.set(c.wrapping_add(1));
+            T::arbitrary(rng, c)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Element-count specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of a sub-strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let n = self.size.min + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` block runs
+/// [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Salt the RNG with the test name so properties explore
+                // different streams.
+                let __pt_salt = {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                };
+                let mut __pt_rng = $crate::TestRng::deterministic(__pt_salt);
+                // Build the strategies once so stateful ones (e.g. `any`'s
+                // edge-case schedule) advance across cases.
+                let __pt_strats = ($(($strat),)+);
+                for __pt_case in 0..$crate::CASES {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__pt_strats, &mut __pt_rng);
+                    let _ = __pt_case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 1u8..=4, f in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!(f.len() >= 2 && f.len() <= 5);
+            prop_assert!(f.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..4, 0u64..100), n in any::<u16>(), mut acc in 0u64..1) {
+            prop_assert!(pair.0 < 4 && pair.1 < 100);
+            acc += n as u64;
+            prop_assert!(acc <= u16::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic(9);
+        let mut b = crate::TestRng::deterministic(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

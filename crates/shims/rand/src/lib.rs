@@ -1,0 +1,176 @@
+//! Minimal API-compatible stand-in for the [`rand`] crate (0.9 surface).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! just what it uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges. The generator is
+//! SplitMix64 — deterministic, fast, and plenty for simulation seeding.
+//! Streams will differ from the real `rand`, which is fine: all consumers
+//! seed explicitly and only need reproducibility within this workspace.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+/// Core RNG: produce raw 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type usable as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                // 53 random mantissa bits -> uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                // Guard against rounding up to the exclusive bound.
+                if v >= self.end as f64 {
+                    self.start
+                } else {
+                    v as $t
+                }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (lo + unit * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// High-level convenience methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A coin flip with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele et al.), public domain reference constants.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.random_range(5..17u32);
+            assert!((5..17).contains(&v));
+            let w = r.random_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let f = r.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+            let n = r.random_range(-10.0..10.0f64);
+            assert!((-10.0..10.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

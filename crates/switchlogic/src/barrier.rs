@@ -23,6 +23,15 @@ pub struct BarrierAggregator {
     /// Input links removed from the commit minimum (only by the
     /// controller's Resume step, §5.2).
     commit_dead: Vec<bool>,
+    /// Input links whose death has been *reported* to the controller
+    /// (Detect, §5.2). Failure is by fiat from that point: even if the
+    /// link revives (a healed partition, a falsely-accused process), its
+    /// registers are frozen and it stays out of both minima until the
+    /// controller explicitly re-admits it. Otherwise a zombie's barrier
+    /// contributions could advance the commit barrier during the
+    /// Announce→Resume window and release messages the announcement
+    /// orders every receiver to discard.
+    quarantined: Vec<bool>,
     /// Monotonic clamp on the outgoing best-effort barrier.
     out_be: Timestamp,
     /// Monotonic clamp on the outgoing commit barrier.
@@ -44,6 +53,7 @@ impl BarrierAggregator {
             last_heard: vec![0; n],
             be_dead: vec![false; n],
             commit_dead: vec![false; n],
+            quarantined: vec![false; n],
             out_be: Timestamp::ZERO,
             out_commit: Timestamp::ZERO,
             min_computes: 0,
@@ -63,16 +73,15 @@ impl BarrierAggregator {
     /// Returns `false` if the link is unknown.
     pub fn observe_be(&mut self, from: NodeId, barrier: Timestamp, now: u64) -> bool {
         let Some(i) = self.index_of(from) else { return false };
+        if self.quarantined[i] {
+            return true;
+        }
         // FIFO links deliver non-decreasing barriers; clamp defensively so
         // a reordered packet cannot drag the register backwards. ZERO is
         // the "never heard" sentinel: the first real value replaces it
         // outright (deployment clocks may sit anywhere in the 48-bit
         // ring, where a ring-max against ZERO would misorder).
-        self.be[i] = if self.be[i] == Timestamp::ZERO {
-            barrier
-        } else {
-            self.be[i].max(barrier)
-        };
+        self.be[i] = if self.be[i] == Timestamp::ZERO { barrier } else { self.be[i].max(barrier) };
         self.last_heard[i] = now;
         // A link that speaks again leaves the best-effort dead set (§4.2
         // "addition of new hosts and links"); the monotonic output clamp
@@ -84,11 +93,11 @@ impl BarrierAggregator {
     /// Record a commit barrier observation on an input link.
     pub fn observe_commit(&mut self, from: NodeId, barrier: Timestamp, now: u64) -> bool {
         let Some(i) = self.index_of(from) else { return false };
-        self.commit[i] = if self.commit[i] == Timestamp::ZERO {
-            barrier
-        } else {
-            self.commit[i].max(barrier)
-        };
+        if self.quarantined[i] {
+            return true;
+        }
+        self.commit[i] =
+            if self.commit[i] == Timestamp::ZERO { barrier } else { self.commit[i].max(barrier) };
         self.last_heard[i] = now;
         true
     }
@@ -98,20 +107,29 @@ impl BarrierAggregator {
     /// link is alive).
     pub fn observe_alive(&mut self, from: NodeId, now: u64) {
         if let Some(i) = self.index_of(from) {
+            if self.quarantined[i] {
+                return;
+            }
             self.last_heard[i] = now;
             self.be_dead[i] = false;
         }
     }
 
     /// Current outgoing best-effort barrier: `min` over live input links'
-    /// registers, clamped monotone (eq. 4.1).
-    pub fn out_be(&mut self) -> Timestamp {
+    /// registers, clamped monotone (eq. 4.1). `now` is the switch-local
+    /// time: the min over an *empty* live set is unconstrained, so a
+    /// switch whose entire subtree died emits its clock instead of
+    /// pinning the network on a frozen register (the dead inputs' data
+    /// is discarded by the failure announcement anyway).
+    pub fn out_be(&mut self, now: u64) -> Timestamp {
         self.min_computes += 1;
+        let mut any_live = false;
         let mut min: Option<Timestamp> = None;
         for i in 0..self.inputs.len() {
             if self.be_dead[i] {
                 continue;
             }
+            any_live = true;
             if self.be[i] == Timestamp::ZERO {
                 // A live link that has never reported pins the output at
                 // "no information" (ring comparison against the ZERO
@@ -123,24 +141,28 @@ impl BarrierAggregator {
                 Some(m) => m.min(self.be[i]),
             });
         }
+        if !any_live && now != 0 {
+            min = Some(Timestamp::from_raw(now));
+        }
         if let Some(m) = min {
-            self.out_be = if self.out_be == Timestamp::ZERO {
-                m
-            } else {
-                self.out_be.max(m)
-            };
+            self.out_be = if self.out_be == Timestamp::ZERO { m } else { self.out_be.max(m) };
         }
         self.out_be
     }
 
-    /// Current outgoing commit barrier: `min` over commit-live input links.
-    pub fn out_commit(&mut self) -> Timestamp {
+    /// Current outgoing commit barrier: `min` over commit-live input
+    /// links. As with [`Self::out_be`], an empty live set (every input
+    /// removed by the controller's Resume) imposes no constraint and the
+    /// output tracks `now`.
+    pub fn out_commit(&mut self, now: u64) -> Timestamp {
         self.min_computes += 1;
+        let mut any_live = false;
         let mut min: Option<Timestamp> = None;
         for i in 0..self.inputs.len() {
             if self.commit_dead[i] {
                 continue;
             }
+            any_live = true;
             if self.commit[i] == Timestamp::ZERO {
                 return self.out_commit;
             }
@@ -149,12 +171,12 @@ impl BarrierAggregator {
                 Some(m) => m.min(self.commit[i]),
             });
         }
+        if !any_live && now != 0 {
+            min = Some(Timestamp::from_raw(now));
+        }
         if let Some(m) = min {
-            self.out_commit = if self.out_commit == Timestamp::ZERO {
-                m
-            } else {
-                self.out_commit.max(m)
-            };
+            self.out_commit =
+                if self.out_commit == Timestamp::ZERO { m } else { self.out_commit.max(m) };
         }
         self.out_commit
     }
@@ -170,6 +192,10 @@ impl BarrierAggregator {
             }
             if now.saturating_sub(self.last_heard[i]) > timeout {
                 self.be_dead[i] = true;
+                // The death is about to be reported: from here the input
+                // is failed by fiat and may only rejoin via the
+                // controller (`restore_input`).
+                self.quarantined[i] = true;
                 dead.push((self.inputs[i], self.commit[i]));
             }
         }
@@ -195,6 +221,7 @@ impl BarrierAggregator {
             Some(i) => {
                 self.be_dead[i] = false;
                 self.commit_dead[i] = false;
+                self.quarantined[i] = false;
                 self.last_heard[i] = now;
                 true
             }
@@ -205,6 +232,11 @@ impl BarrierAggregator {
     /// Whether a given input link is currently excluded from the BE min.
     pub fn is_be_dead(&self, from: NodeId) -> bool {
         self.index_of(from).map(|i| self.be_dead[i]).unwrap_or(true)
+    }
+
+    /// Whether a given input link is currently excluded from the commit min.
+    pub fn is_commit_dead(&self, from: NodeId) -> bool {
+        self.index_of(from).map(|i| self.commit_dead[i]).unwrap_or(true)
     }
 
     /// The best-effort register of one input link (telemetry).
@@ -236,9 +268,9 @@ mod tests {
         a.observe_be(NodeId(1), ts(100), 0);
         a.observe_be(NodeId(2), ts(50), 0);
         a.observe_be(NodeId(3), ts(80), 0);
-        assert_eq!(a.out_be(), ts(50));
+        assert_eq!(a.out_be(0), ts(50));
         a.observe_be(NodeId(2), ts(120), 1);
-        assert_eq!(a.out_be(), ts(80));
+        assert_eq!(a.out_be(0), ts(80));
     }
 
     #[test]
@@ -247,7 +279,7 @@ mod tests {
         a.observe_be(NodeId(1), ts(100), 0);
         a.observe_be(NodeId(2), ts(100), 0);
         // Link 3 never reported → its register is ZERO → min is ZERO.
-        assert_eq!(a.out_be(), Timestamp::ZERO);
+        assert_eq!(a.out_be(0), Timestamp::ZERO);
     }
 
     #[test]
@@ -256,10 +288,10 @@ mod tests {
         for n in 1..=3 {
             a.observe_be(NodeId(n), ts(100), 0);
         }
-        assert_eq!(a.out_be(), ts(100));
+        assert_eq!(a.out_be(0), ts(100));
         // An out-of-order packet with an older barrier must not regress.
         a.observe_be(NodeId(2), ts(40), 1);
-        assert_eq!(a.out_be(), ts(100));
+        assert_eq!(a.out_be(0), ts(100));
     }
 
     #[test]
@@ -281,7 +313,7 @@ mod tests {
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].0, NodeId(3));
         // With the dead link excluded, the barrier resumes increasing.
-        assert_eq!(a.out_be(), ts(90));
+        assert_eq!(a.out_be(0), ts(90));
         // Detect is edge-triggered: a second scan (with the other links
         // still within their timeout) reports nothing new.
         assert!(a.detect_dead(2100, 1500).is_empty());
@@ -303,24 +335,37 @@ mod tests {
         a.observe_commit(NodeId(1), ts(100), 0);
         a.observe_commit(NodeId(2), ts(90), 0);
         // Link 3 never commits: commit barrier stalls at ZERO...
-        assert_eq!(a.out_commit(), Timestamp::ZERO);
+        assert_eq!(a.out_commit(0), Timestamp::ZERO);
         a.detect_dead(10_000, 500); // BE removal does NOT unblock commit
-        assert_eq!(a.out_commit(), Timestamp::ZERO);
+        assert_eq!(a.out_commit(0), Timestamp::ZERO);
         // ...until the controller's Resume removes it.
         assert!(a.remove_commit_input(NodeId(3)));
-        assert_eq!(a.out_commit(), ts(90));
+        assert_eq!(a.out_commit(0), ts(90));
     }
 
     #[test]
-    fn speaking_link_resurrects_from_be_dead() {
+    fn reported_dead_link_is_quarantined_until_restored() {
         let mut a = agg3();
         for n in 1..=3 {
             a.observe_be(NodeId(n), ts(100), 0);
+            a.observe_commit(NodeId(n), ts(100), 0);
         }
         a.detect_dead(10_000, 500);
         assert!(a.is_be_dead(NodeId(1)));
+        // The death was reported: a zombie speaking again must NOT rejoin
+        // the minima or advance its frozen registers (fail-stop by fiat —
+        // a healed partition cannot release uncommitted messages during
+        // the Announce→Resume window).
         a.observe_be(NodeId(1), ts(200), 10_001);
+        a.observe_commit(NodeId(1), ts(200), 10_001);
+        a.observe_alive(NodeId(1), 10_002);
+        assert!(a.is_be_dead(NodeId(1)));
+        assert_eq!(a.register_commit(NodeId(1)), Some(ts(100)));
+        // Only the controller re-admits it.
+        a.restore_input(NodeId(1), 10_003);
         assert!(!a.is_be_dead(NodeId(1)));
+        a.observe_commit(NodeId(1), ts(200), 10_004);
+        assert_eq!(a.register_commit(NodeId(1)), Some(ts(200)));
     }
 
     #[test]
@@ -333,15 +378,15 @@ mod tests {
         a.remove_commit_input(NodeId(2));
         a.observe_commit(NodeId(1), ts(200), 1);
         a.observe_commit(NodeId(3), ts(200), 1);
-        assert_eq!(a.out_commit(), ts(200));
+        assert_eq!(a.out_commit(0), ts(200));
         // Restore: link 2's stale register (100) is below the clamp (200),
         // so the output holds at 200 until link 2 catches up.
         a.restore_input(NodeId(2), 2);
-        assert_eq!(a.out_commit(), ts(200));
+        assert_eq!(a.out_commit(0), ts(200));
         a.observe_commit(NodeId(2), ts(300), 3);
         a.observe_commit(NodeId(1), ts(300), 3);
         a.observe_commit(NodeId(3), ts(300), 3);
-        assert_eq!(a.out_commit(), ts(300));
+        assert_eq!(a.out_commit(0), ts(300));
     }
 
     #[test]

@@ -223,12 +223,13 @@ impl SwitchLogic {
             self.counters.unroutable += 1;
             return;
         };
-        let src_host = self
+        let src_host =
+            self.shared.procs.host_of(pkt.dgram.src).unwrap_or(onepipe_types::ids::HostId(0));
+        let Some(next) = self
             .shared
-            .procs
-            .host_of(pkt.dgram.src)
-            .unwrap_or(onepipe_types::ids::HostId(0));
-        let Some(next) = self.shared.topo.route(ctx.node(), src_host, dst_host) else {
+            .topo
+            .route_live(ctx.node(), src_host, dst_host, |a, b| ctx.global_link_is_up(a, b))
+        else {
             self.counters.unroutable += 1;
             return;
         };
@@ -242,24 +243,22 @@ impl SwitchLogic {
             self.counters.unroutable += 1;
             return;
         };
-        let src_host = self
+        let src_host =
+            self.shared.procs.host_of(pkt.dgram.src).unwrap_or(onepipe_types::ids::HostId(0));
+        let Some(next) = self
             .shared
-            .procs
-            .host_of(pkt.dgram.src)
-            .unwrap_or(onepipe_types::ids::HostId(0));
-        let Some(next) = self.shared.topo.route(ctx.node(), src_host, dst_host) else {
+            .topo
+            .route_live(ctx.node(), src_host, dst_host, |a, b| ctx.global_link_is_up(a, b))
+        else {
             self.counters.unroutable += 1;
             return;
         };
-        let be = self.agg.out_be();
-        let commit = self.agg.out_commit();
+        let be = self.agg.out_be(ctx.now());
+        let commit = self.agg.out_commit(ctx.now());
         pkt.dgram.header.barrier = be;
         pkt.dgram.header.commit_barrier = commit;
         self.last_tx.insert(next, ctx.now());
-        let adv = self
-            .advertised
-            .entry(next)
-            .or_insert((Timestamp::ZERO, Timestamp::ZERO));
+        let adv = self.advertised.entry(next).or_insert((Timestamp::ZERO, Timestamp::ZERO));
         adv.0 = adv.0.max(be);
         adv.1 = adv.1.max(commit);
         self.counters.forwarded += 1;
@@ -286,17 +285,14 @@ impl SwitchLogic {
     /// covered for free by rewritten data packets, which also update the
     /// per-link advertisement.
     fn relay_if_advanced(&mut self, ctx: &mut Ctx<'_>) {
-        let be = self.agg.out_be();
-        let commit = self.agg.out_commit();
+        let be = self.agg.out_be(ctx.now());
+        let commit = self.agg.out_commit(ctx.now());
         let now = ctx.now();
         let min_gap = self.cfg.beacon_interval / 16;
         let outs: Vec<NodeId> = ctx.out_neighbors().to_vec();
         for out in outs {
-            let adv = self
-                .advertised
-                .get(&out)
-                .copied()
-                .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+            let adv =
+                self.advertised.get(&out).copied().unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
             if be <= adv.0 && commit <= adv.1 {
                 continue;
             }
@@ -420,8 +416,8 @@ impl NodeLogic for SwitchLogic {
                         at: now,
                     });
                 }
-                let be = self.agg.out_be();
-                let commit = self.agg.out_commit();
+                let be = self.agg.out_be(ctx.now());
+                let commit = self.agg.out_commit(ctx.now());
                 match self.cfg.incarnation {
                     Incarnation::Chip => {
                         // Beacons only on links idle for a full interval.
@@ -453,8 +449,8 @@ impl NodeLogic for SwitchLogic {
                 // the minima and broadcast on every output link.
                 self.emission_pending = false;
                 self.pending_emissions.clear();
-                let be = self.agg.out_be();
-                let commit = self.agg.out_commit();
+                let be = self.agg.out_be(ctx.now());
+                let commit = self.agg.out_commit(ctx.now());
                 self.emit_beacons(ctx, be, commit);
             }
             _ => {}
@@ -492,9 +488,7 @@ mod tests {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
             let h = pkt.dgram.header;
             if h.opcode == Opcode::Beacon {
-                self.barriers
-                    .borrow_mut()
-                    .push((ctx.now(), h.barrier, h.commit_barrier));
+                self.barriers.borrow_mut().push((ctx.now(), h.barrier, h.commit_barrier));
             } else {
                 self.received.borrow_mut().push(pkt.dgram);
             }
@@ -517,11 +511,8 @@ mod tests {
         let mut sim = Sim::new(99);
         let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n)));
         let procs = Rc::new(ProcessMap::place_round_robin(n as usize, n as usize));
-        let shared = SwitchShared {
-            topo: topo.clone(),
-            procs,
-            events: Rc::new(RefCell::new(Vec::new())),
-        };
+        let shared =
+            SwitchShared { topo: topo.clone(), procs, events: Rc::new(RefCell::new(Vec::new())) };
         for &s in &topo.switch_nodes {
             sim.set_logic(s, Box::new(SwitchLogic::new(shared.clone(), cfg)));
         }
@@ -561,9 +552,7 @@ mod tests {
 
     #[test]
     fn data_is_routed_between_hosts() {
-        let mut w = build_world(4, SwitchConfig::default(), vec![
-            vec![data_dgram(0, 3, 1000)],
-        ]);
+        let mut w = build_world(4, SwitchConfig::default(), vec![vec![data_dgram(0, 3, 1000)]]);
         w.sim.run_until(100_000);
         let got = w.received[3].borrow();
         assert_eq!(got.len(), 1);
@@ -575,9 +564,7 @@ mod tests {
         // Host 0 sends a data packet; without beacons from hosts 1..3 the
         // ToR's min is ZERO, so the rewritten barrier must be ZERO, not the
         // sender's msg_ts.
-        let mut w = build_world(4, SwitchConfig::default(), vec![
-            vec![data_dgram(0, 3, 5_000)],
-        ]);
+        let mut w = build_world(4, SwitchConfig::default(), vec![vec![data_dgram(0, 3, 5_000)]]);
         w.sim.run_until(2_000); // before any host beacons exist
         let got = w.received[3].borrow();
         if let Some(d) = got.first() {
@@ -616,12 +603,9 @@ mod tests {
         let events = w.shared.events.borrow();
         // Both silent host links (and no fabric links, which carry beacons)
         // must be reported dead by the ToR-up switch.
-        let host_nodes: Vec<NodeId> =
-            (0..2).map(|h| w.topo.host_node(HostId(h))).collect();
-        let dead_from: Vec<NodeId> = events
-            .iter()
-            .map(|SwitchEvent::InLinkDead { from, .. }| *from)
-            .collect();
+        let host_nodes: Vec<NodeId> = (0..2).map(|h| w.topo.host_node(HostId(h))).collect();
+        let dead_from: Vec<NodeId> =
+            events.iter().map(|SwitchEvent::InLinkDead { from, .. }| *from).collect();
         for hn in host_nodes {
             assert!(dead_from.contains(&hn), "host link {hn:?} not reported");
         }
@@ -697,14 +681,10 @@ mod tests {
         w.sim.run_until(10_000);
         let host0 = w.topo.host_node(HostId(0));
         w.sim.with_node(tor_up, |logic, _ctx| {
-            let sw = logic
-                .as_any_mut()
-                .unwrap()
-                .downcast_mut::<SwitchLogic>()
-                .unwrap();
+            let sw = logic.as_any_mut().unwrap().downcast_mut::<SwitchLogic>().unwrap();
             // The commit register for host 0's link holds 777; the *output*
             // commit barrier is still ZERO because host 1 never committed.
-            assert_eq!(sw.aggregator_mut().out_commit(), Timestamp::ZERO);
+            assert_eq!(sw.aggregator_mut().out_commit(0), Timestamp::ZERO);
             assert!(!sw.aggregator().is_be_dead(host0));
         });
     }
@@ -718,11 +698,7 @@ mod tests {
         let removed = w
             .sim
             .with_node(tor_up, |logic, _| {
-                let sw = logic
-                    .as_any_mut()
-                    .unwrap()
-                    .downcast_mut::<SwitchLogic>()
-                    .unwrap();
+                let sw = logic.as_any_mut().unwrap().downcast_mut::<SwitchLogic>().unwrap();
                 sw.remove_commit_input(host1)
             })
             .unwrap();

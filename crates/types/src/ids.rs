@@ -1,9 +1,7 @@
 //! Identifiers for hosts, processes, network nodes and links.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a physical server in the data center.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 impl std::fmt::Debug for HostId {
@@ -17,7 +15,7 @@ impl std::fmt::Debug for HostId {
 ///
 /// The flat `u32` is globally unique; the host a process runs on is tracked
 /// by the process registry (simulator or controller).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
 
 impl std::fmt::Debug for ProcessId {
@@ -31,7 +29,7 @@ impl std::fmt::Debug for ProcessId {
 /// Following the paper's Figure 3, each physical switch is split into an
 /// *uplink* and a *downlink* logical switch so that the routing graph is a
 /// DAG; the simulator allocates distinct `NodeId`s for the two halves.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Debug for NodeId {
@@ -44,7 +42,7 @@ impl std::fmt::Debug for NodeId {
 ///
 /// Links are the unit of the FIFO property and of barrier bookkeeping: each
 /// switch keeps one barrier register per *input* link (paper §4.1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId {
     /// Transmitting node.
     pub from: NodeId,
@@ -72,7 +70,7 @@ impl std::fmt::Debug for LinkId {
 
 /// Identifies one scattering (a group of messages sharing one position in
 /// the total order) within a sender: `(sender, seq)` is globally unique.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ScatteringId {
     /// The process that issued the scattering.
     pub sender: ProcessId,
@@ -101,10 +99,7 @@ mod tests {
     fn debug_formats() {
         assert_eq!(format!("{:?}", HostId(3)), "h3");
         assert_eq!(format!("{:?}", ProcessId(7)), "p7");
-        assert_eq!(
-            format!("{:?}", LinkId::new(NodeId(1), NodeId(2))),
-            "n1->n2"
-        );
+        assert_eq!(format!("{:?}", LinkId::new(NodeId(1), NodeId(2))), "n1->n2");
     }
 
     #[test]

@@ -83,10 +83,7 @@ impl PartialOrd for OrderKey {
 
 impl Ord for OrderKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.ts
-            .cmp(&other.ts)
-            .then(self.sender.cmp(&other.sender))
-            .then(self.seq.cmp(&other.seq))
+        self.ts.cmp(&other.ts).then(self.sender.cmp(&other.sender)).then(self.seq.cmp(&other.seq))
     }
 }
 

@@ -6,8 +6,6 @@
 //! correct as long as two live timestamps are never more than half the ring
 //! (~39 hours) apart.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of bits in a 1Pipe timestamp.
 pub const TIMESTAMP_BITS: u32 = 48;
 
@@ -43,7 +41,7 @@ pub const SECONDS: Duration = 1_000_000_000;
 /// let wrapped = near_wrap.saturating_add(100);
 /// assert!(near_wrap < wrapped); // ordering survives wrap-around
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Timestamp(u64);
 
 impl Timestamp {

@@ -12,7 +12,6 @@
 use crate::ids::ProcessId;
 use crate::time::Timestamp;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Encoded size of [`PacketHeader`] in bytes (3×6 TS + 4 PSN + 1 op + 1 flags).
 pub const HEADER_LEN: usize = 24;
@@ -21,7 +20,7 @@ pub const HEADER_LEN: usize = 24;
 pub const ADDR_LEN: usize = 4 + 4 + 4;
 
 /// Packet type discriminator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[repr(u8)]
 pub enum Opcode {
     /// Best-effort data packet; barriers are aggregated in-network.
@@ -81,7 +80,7 @@ macro_rules! bitflags_lite {
         }
     ) => {
         $(#[$meta])*
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
         pub struct $name($ty);
 
         impl $name {
@@ -133,7 +132,7 @@ bitflags_lite! {
 }
 
 /// The 24-byte 1Pipe packet header (paper §6.1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PacketHeader {
     /// Message timestamp, set by the sender, never modified in flight.
     pub msg_ts: Timestamp,
@@ -178,10 +177,7 @@ impl PacketHeader {
     /// Deserialize from `buf`, consuming exactly [`HEADER_LEN`] bytes.
     pub fn decode(buf: &mut impl Buf) -> crate::Result<Self> {
         if buf.remaining() < HEADER_LEN {
-            return Err(crate::Error::Truncated {
-                needed: HEADER_LEN,
-                got: buf.remaining(),
-            });
+            return Err(crate::Error::Truncated { needed: HEADER_LEN, got: buf.remaining() });
         }
         let msg_ts = Timestamp::from_raw(buf.get_uint(6));
         let barrier = Timestamp::from_raw(buf.get_uint(6));
@@ -299,10 +295,7 @@ mod tests {
         let mut buf = BytesMut::new();
         sample_header().encode(&mut buf);
         let mut short = buf.freeze().slice(0..10);
-        assert!(matches!(
-            PacketHeader::decode(&mut short),
-            Err(crate::Error::Truncated { .. })
-        ));
+        assert!(matches!(PacketHeader::decode(&mut short), Err(crate::Error::Truncated { .. })));
     }
 
     #[test]

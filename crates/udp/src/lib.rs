@@ -175,7 +175,13 @@ impl UdpCluster {
                     stop,
                 );
             }));
-            processes.push(UdpProcess { id, cmd_tx, delivered_rx: del_rx, events_rx: ev_rx, raw_rx });
+            processes.push(UdpProcess {
+                id,
+                cmd_tx,
+                delivered_rx: del_rx,
+                events_rx: ev_rx,
+                raw_rx,
+            });
         }
 
         Ok(UdpCluster { processes, stop, threads })
@@ -249,7 +255,9 @@ fn run_soft_switch(
             if !first && now >= next_beacon {
                 break;
             }
-            let r = if first { sock.recv_from(&mut buf) } else {
+            let r = if first {
+                sock.recv_from(&mut buf)
+            } else {
                 sock.set_read_timeout(Some(Duration::from_micros(1))).ok();
                 let r = sock.recv_from(&mut buf);
                 sock.set_read_timeout(Some(Duration::from_micros(50))).ok();
@@ -257,8 +265,7 @@ fn run_soft_switch(
             };
             first = false;
             let Ok((len, _from)) = r else { break };
-            let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
-            else {
+            let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len])) else {
                 continue;
             };
             let link = NodeId(d.src.0);
@@ -281,13 +288,12 @@ fn run_soft_switch(
         let now = now_ns(epoch);
         if now >= next_beacon {
             next_beacon = now + beacon_interval;
-            let be = agg.out_be();
-            let commit = agg.out_commit();
+            let be = agg.out_be(now);
+            let commit = agg.out_commit(now);
             if std::env::var("ONEPIPE_UDP_DEBUG").is_ok() && now > last_dbg + 500_000_000 {
                 last_dbg = now;
-                let regs: Vec<_> = (0..proc_addrs.len() as u32)
-                    .map(|i| agg.register_be(NodeId(i)))
-                    .collect();
+                let regs: Vec<_> =
+                    (0..proc_addrs.len() as u32).map(|i| agg.register_be(NodeId(i))).collect();
                 eprintln!("SWITCH t={}ms out_be={:?} regs={:?}", now / 1_000_000, be, regs);
             }
             let beacon = Datagram {
@@ -394,7 +400,11 @@ fn run_process(
             if n / 500_000_000 != (n.saturating_sub(1_000_000)) / 500_000_000 {
                 eprintln!(
                     "PROC {:?} t={}ms be_barrier={:?} delivered={} late={} buffered={}",
-                    id, n / 1_000_000, be, ep.stats.delivered_be, ep.stats.late_drops,
+                    id,
+                    n / 1_000_000,
+                    be,
+                    ep.stats.delivered_be,
+                    ep.stats.late_drops,
                     ep.buffered_bytes()
                 );
             }
@@ -426,22 +436,21 @@ mod tests {
         let _guard = TEST_LOCK.lock();
         let cluster = UdpCluster::new(3, EndpointConfig::default()).unwrap();
         std::thread::sleep(Duration::from_millis(50)); // barriers start
-        // Processes 0 and 1 both scatter to receiver 2.
+                                                       // Processes 0 and 1 both scatter to receiver 2.
         for round in 0..10 {
-            cluster.process(0).send_unreliable(vec![Message::new(
-                ProcessId(2),
-                format!("a{round}"),
-            )]);
-            cluster.process(1).send_unreliable(vec![Message::new(
-                ProcessId(2),
-                format!("b{round}"),
-            )]);
+            cluster
+                .process(0)
+                .send_unreliable(vec![Message::new(ProcessId(2), format!("a{round}"))]);
+            cluster
+                .process(1)
+                .send_unreliable(vec![Message::new(ProcessId(2), format!("b{round}"))]);
             std::thread::sleep(Duration::from_millis(2));
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut got = Vec::new();
         while got.len() < 20 && Instant::now() < deadline {
-            if let Some((m, reliable)) = cluster.process(2).recv_timeout(Duration::from_millis(100)) {
+            if let Some((m, reliable)) = cluster.process(2).recv_timeout(Duration::from_millis(100))
+            {
                 assert!(!reliable);
                 got.push(m);
             }
@@ -451,12 +460,7 @@ mod tests {
         if got.len() < 16 {
             let e0 = cluster.process(0).try_events();
             let e1 = cluster.process(1).try_events();
-            panic!(
-                "too many losses: {}/20; sender events: p0={:?} p1={:?}",
-                got.len(),
-                e0,
-                e1
-            );
+            panic!("too many losses: {}/20; sender events: p0={:?} p1={:?}", got.len(), e0, e1);
         }
         for w in got.windows(2) {
             assert!(w[0].order_key() <= w[1].order_key(), "order violated");
@@ -469,13 +473,9 @@ mod tests {
         let _guard = TEST_LOCK.lock();
         let cluster = UdpCluster::new(2, EndpointConfig::default()).unwrap();
         std::thread::sleep(Duration::from_millis(50));
-        cluster
-            .process(0)
-            .send_reliable(vec![Message::new(ProcessId(1), "guaranteed")]);
-        let got = cluster
-            .process(1)
-            .recv_timeout(Duration::from_secs(5))
-            .expect("reliable delivery");
+        cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "guaranteed")]);
+        let got =
+            cluster.process(1).recv_timeout(Duration::from_secs(5)).expect("reliable delivery");
         assert!(got.1, "came in on the reliable channel");
         assert_eq!(got.0.payload, bytes::Bytes::from_static(b"guaranteed"));
         cluster.shutdown();

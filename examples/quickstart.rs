@@ -70,11 +70,7 @@ fn main() {
     }
 
     let seq = |r: ProcessId| -> Vec<_> {
-        deliveries
-            .iter()
-            .filter(|d| d.receiver == r)
-            .map(|d| d.msg.order_key())
-            .collect()
+        deliveries.iter().filter(|d| d.receiver == r).map(|d| d.msg.order_key()).collect()
     };
     assert_eq!(seq(ProcessId(6)), seq(ProcessId(7)));
     println!("\nboth receivers delivered the SAME total order — that's 1Pipe.");

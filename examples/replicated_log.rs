@@ -120,9 +120,8 @@ impl AppHook for ReplicatedLog {
             let mut b = BytesMut::new();
             b.put_u64(entry);
             let payload = b.freeze();
-            let msgs: Vec<Message> = (0..REPLICAS)
-                .map(|r| Message::new(ProcessId(r), payload.clone()))
-                .collect();
+            let msgs: Vec<Message> =
+                (0..REPLICAS).map(|r| Message::new(ProcessId(r), payload.clone())).collect();
             // Best-effort: replication completes in ONE round trip.
             out.push(p, msgs, false);
         }
@@ -130,8 +129,7 @@ impl AppHook for ReplicatedLog {
 }
 
 fn main() {
-    let mut cluster =
-        Cluster::new(ClusterConfig::testbed((REPLICAS + CLIENTS) as usize));
+    let mut cluster = Cluster::new(ClusterConfig::testbed((REPLICAS + CLIENTS) as usize));
     let log = Rc::new(RefCell::new(ReplicatedLog::new()));
     cluster.set_app(log.clone());
     cluster.run_for(5_000 * MICROS);
@@ -145,6 +143,8 @@ fn main() {
     assert_eq!(log.logs[1], log.logs[2]);
     assert_eq!(log.mismatches, 0);
     assert_eq!(log.confirmed, (CLIENTS as u64) * ENTRIES_PER_CLIENT);
-    println!("\nall {} entries replicated identically in 1 RTT each — no leader needed.",
-        log.logs[0].len());
+    println!(
+        "\nall {} entries replicated identically in 1 RTT each — no leader needed.",
+        log.logs[0].len()
+    );
 }

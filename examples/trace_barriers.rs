@@ -25,10 +25,7 @@ fn main() -> std::io::Result<()> {
     cluster
         .send(
             ProcessId(0),
-            vec![
-                Message::new(ProcessId(2), "watch me"),
-                Message::new(ProcessId(3), "watch me"),
-            ],
+            vec![Message::new(ProcessId(2), "watch me"), Message::new(ProcessId(3), "watch me")],
             false,
         )
         .expect("send");
@@ -59,10 +56,7 @@ fn main() -> std::io::Result<()> {
             r.barrier.raw()
         );
     }
-    if let Some(pass) = t
-        .records()
-        .find(|r| r.opcode == Opcode::Beacon && r.barrier > msg_ts)
-    {
+    if let Some(pass) = t.records().find(|r| r.opcode == Opcode::Beacon && r.barrier > msg_ts) {
         println!(
             "barrier passed the message {} ns after the send ({:?}->{:?}, barrier={})",
             pass.at - sent_at,

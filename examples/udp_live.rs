@@ -21,10 +21,9 @@ fn main() {
     // Three senders scatter to receiver p3, interleaved in real time.
     for round in 0..5 {
         for sender in 0..3usize {
-            cluster.process(sender).send_unreliable(vec![Message::new(
-                ProcessId(3),
-                format!("u{sender}.{round}"),
-            )]);
+            cluster
+                .process(sender)
+                .send_unreliable(vec![Message::new(ProcessId(3), format!("u{sender}.{round}"))]);
         }
         std::thread::sleep(Duration::from_millis(2));
     }

@@ -1,0 +1,11 @@
+//! Chaos sweep: run seeded fault campaigns with the continuous
+//! ordering-invariant oracle attached, minimizing and recording any
+//! failing schedule under `results/chaos/`.
+//!
+//! ```text
+//! cargo run --release --bin chaos_sweep -- --seeds 50
+//! ```
+
+fn main() {
+    std::process::exit(onepipe::chaos::cli::sweep_main(std::env::args().skip(1)));
+}

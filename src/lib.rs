@@ -15,6 +15,7 @@
 
 pub use onepipe_apps as apps;
 pub use onepipe_baselines as baselines;
+pub use onepipe_chaos as chaos;
 pub use onepipe_clock as clock;
 pub use onepipe_controller as controller;
 pub use onepipe_core as service;

@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use onepipe::service::events::UserEvent;
 use onepipe::service::harness::{Cluster, ClusterConfig};
-use onepipe::types::ids::{HostId, ProcessId};
+use onepipe::types::ids::{HostId, LinkId, ProcessId};
 use onepipe::types::message::Message;
 use onepipe::types::time::MICROS;
 
@@ -40,10 +40,7 @@ fn scattering_to_failed_receiver_is_recalled_atomically() {
     c.run_for(2 * MICROS);
     c.send(
         ProcessId(0),
-        vec![
-            Message::new(ProcessId(1), "half"),
-            Message::new(ProcessId(2), "half"),
-        ],
+        vec![Message::new(ProcessId(1), "half"), Message::new(ProcessId(2), "half")],
         true,
     )
     .unwrap();
@@ -70,22 +67,15 @@ fn reliable_delivery_resumes_after_recovery() {
     c.run_for(100 * MICROS);
     c.crash_host(c.sim.now() + 1, HostId(3));
     c.run_for(1_500 * MICROS); // full recovery
-    // Fresh reliable traffic among survivors flows again.
+                               // Fresh reliable traffic among survivors flows again.
     for i in 0..10u32 {
-        c.send(
-            ProcessId(i % 2),
-            vec![Message::new(ProcessId(2), format!("post{i}"))],
-            true,
-        )
-        .unwrap();
+        c.send(ProcessId(i % 2), vec![Message::new(ProcessId(2), format!("post{i}"))], true)
+            .unwrap();
         c.run_for(10 * MICROS);
     }
     c.run_for(1_000 * MICROS);
-    let delivered = c
-        .take_deliveries()
-        .iter()
-        .filter(|d| d.receiver == ProcessId(2) && d.reliable)
-        .count();
+    let delivered =
+        c.take_deliveries().iter().filter(|d| d.receiver == ProcessId(2) && d.reliable).count();
     assert_eq!(delivered, 10, "commit barrier must resume after Resume step");
 }
 
@@ -97,16 +87,12 @@ fn best_effort_survives_failure_without_controller() {
     c.crash_host(c.sim.now() + 1, HostId(3));
     c.run_for(200 * MICROS); // > 10 beacon intervals
     for i in 0..10u32 {
-        c.send(ProcessId(0), vec![Message::new(ProcessId(1), format!("be{i}"))], false)
-            .unwrap();
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), format!("be{i}"))], false).unwrap();
         c.run_for(10 * MICROS);
     }
     c.run_for(500 * MICROS);
-    let delivered = c
-        .take_deliveries()
-        .iter()
-        .filter(|d| d.receiver == ProcessId(1) && !d.reliable)
-        .count();
+    let delivered =
+        c.take_deliveries().iter().filter(|d| d.receiver == ProcessId(1) && !d.reliable).count();
     assert_eq!(delivered, 10);
 }
 
@@ -122,16 +108,12 @@ fn core_switch_failure_kills_no_process() {
     // With 8 procs round-robin on 32 hosts they are all in pod 0; send
     // within the rack instead — the point is the barrier still advances.
     for i in 0..5u32 {
-        c.send(ProcessId(0), vec![Message::new(ProcessId(5), format!("x{i}"))], true)
-            .unwrap();
+        c.send(ProcessId(0), vec![Message::new(ProcessId(5), format!("x{i}"))], true).unwrap();
         c.run_for(20 * MICROS);
     }
     c.run_for(2_000 * MICROS);
-    let delivered = c
-        .take_deliveries()
-        .iter()
-        .filter(|d| d.receiver == ProcessId(5) && d.reliable)
-        .count();
+    let delivered =
+        c.take_deliveries().iter().filter(|d| d.receiver == ProcessId(5) && d.reliable).count();
     assert_eq!(delivered, 5);
 }
 
@@ -179,11 +161,13 @@ fn controller_forwarding_rescues_an_unreachable_receiver() {
     // (ACKs flow up) but receives nothing over the data network.
     let host3 = c.topo.host_node(HostId(3));
     let tor_down = c.sim.in_neighbors(host3)[0];
-    c.sim
-        .schedule_link_admin(c.sim.now() + 1, onepipe::types::ids::LinkId::new(tor_down, host3), false);
+    c.sim.schedule_link_admin(
+        c.sim.now() + 1,
+        onepipe::types::ids::LinkId::new(tor_down, host3),
+        false,
+    );
     c.run_for(10 * MICROS);
-    c.send(ProcessId(0), vec![Message::new(ProcessId(3), "via controller")], true)
-        .unwrap();
+    c.send(ProcessId(0), vec![Message::new(ProcessId(3), "via controller")], true).unwrap();
     // 8 RTOs of 100 µs, then the Forward request, then two management hops.
     c.run_for(3_000 * MICROS);
     // The sender observed the commit: the forwarded copy was ACKed.
@@ -202,11 +186,17 @@ fn link_flap_barrier_resumes_after_readdition() {
     // barrier until it catches up, and best-effort delivery resumes.
     let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
     c.run_for(100 * MICROS);
-    // Flap host 3's access link: down for 100 µs (beyond the 30 µs dead-
-    // link timeout), then up again.
+    // Flap host 3's access link via the scheduled engine API: down for
+    // 100 µs (beyond the 30 µs dead-link timeout), then up again, in both
+    // directions.
     let t = c.sim.now();
-    c.set_host_link(t + 1, HostId(3), false);
-    c.set_host_link(t + 100 * MICROS, HostId(3), true);
+    let hn = c.topo.host_node(HostId(3));
+    let tor_up = c.topo.tor_up_of(HostId(3));
+    let tor_down = c.sim.in_neighbors(hn)[0];
+    for link in [LinkId::new(hn, tor_up), LinkId::new(tor_down, hn)] {
+        c.sim.schedule_link_down(t + 1, link);
+        c.sim.schedule_link_up(t + 100 * MICROS, link);
+    }
     // Traffic among the unaffected processes keeps flowing during the
     // outage (dead-link removal un-stalls the barrier)...
     c.run_for(50 * MICROS);

@@ -165,8 +165,7 @@ fn fifo_between_each_sender_receiver_pair() {
     let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
     c.run_for(100 * MICROS);
     for i in 0..30u32 {
-        c.send(ProcessId(0), vec![Message::new(ProcessId(1), vec![i as u8])], false)
-            .unwrap();
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), vec![i as u8])], false).unwrap();
         c.run_for(2 * MICROS);
     }
     c.run_for(500 * MICROS);
@@ -202,7 +201,7 @@ fn causality_delivered_ts_below_receiver_clock() {
 
 #[test]
 fn tracer_sees_barrier_flow() {
-    use onepipe::sim::{Tracer};
+    use onepipe::sim::Tracer;
     use onepipe::types::wire::Opcode;
     let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
     let tracer = Tracer::shared(4096);
@@ -231,8 +230,8 @@ fn tracer_sees_barrier_flow() {
 fn paws_wraparound_end_to_end() {
     // Run endpoints with local clocks near the 48-bit wrap: barriers and
     // message timestamps cross the ring boundary and ordering must hold.
-    use onepipe::service::endpoint::Endpoint;
     use onepipe::service::config::EndpointConfig;
+    use onepipe::service::endpoint::Endpoint;
     use onepipe::types::time::{Timestamp, TIMESTAMP_MASK};
     let cfg = EndpointConfig::default().beacon_only_barriers();
     let mut tx = Endpoint::new(ProcessId(0), cfg);
@@ -241,8 +240,7 @@ fn paws_wraparound_end_to_end() {
     let mut sent = Vec::new();
     for i in 0..10u64 {
         let now = Timestamp::from_raw(base.wrapping_add(i * 300)); // crosses the wrap
-        tx.send_unreliable(now, vec![Message::new(ProcessId(1), format!("w{i}"))])
-            .unwrap();
+        tx.send_unreliable(now, vec![Message::new(ProcessId(1), format!("w{i}"))]).unwrap();
         sent.push(now);
         while let Some(d) = tx.poll_transmit() {
             if d.dst == ProcessId(1) {
@@ -282,8 +280,7 @@ fn arbitrary_clock_epoch_works() {
         let mut rx = Endpoint::new(ProcessId(1), cfg);
         for i in 0..5u64 {
             let now = Timestamp::from_raw(epoch.wrapping_add(i * 1_000));
-            tx.send_unreliable(now, vec![Message::new(ProcessId(1), format!("{i}"))])
-                .unwrap();
+            tx.send_unreliable(now, vec![Message::new(ProcessId(1), format!("{i}"))]).unwrap();
             while let Some(d) = tx.poll_transmit() {
                 if d.dst == ProcessId(1) {
                     rx.handle_datagram(now, d);
@@ -317,8 +314,7 @@ fn large_message_stalls_others_boundedly() {
         .map(|d| d.at - t0)
         .unwrap();
     // Now a 1 MB message from p2 to p1 followed immediately by the probe.
-    c.send(ProcessId(2), vec![Message::new(ProcessId(1), vec![0u8; 1_000_000])], false)
-        .unwrap();
+    c.send(ProcessId(2), vec![Message::new(ProcessId(1), vec![0u8; 1_000_000])], false).unwrap();
     // Leave more than the clock skew so probe2's timestamp definitely
     // lands after the jumbo message's in the total order.
     c.run_for(5 * MICROS);

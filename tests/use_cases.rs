@@ -109,10 +109,7 @@ fn waw_hazard_removed_without_fences() {
     // value ≥ v. Reads arrive in order, so values are non-decreasing and
     // each ≥ its notification round.
     for (i, &v) in app.reads_seen.iter().enumerate() {
-        assert!(
-            v >= (i as u64 + 1),
-            "B read a stale value: read #{i} saw {v} — the WAW hazard"
-        );
+        assert!(v >= (i as u64 + 1), "B read a stale value: read #{i} saw {v} — the WAW hazard");
     }
 }
 
@@ -288,8 +285,7 @@ impl AppHook for SnapshotApp {
             T_TOKEN => self.balance[receiver.0 as usize] += v,
             T_MARKER => {
                 // Record local state at the marker's position in the order.
-                self.snapshot[receiver.0 as usize] =
-                    Some(self.balance[receiver.0 as usize]);
+                self.snapshot[receiver.0 as usize] = Some(self.balance[receiver.0 as usize]);
             }
             _ => {}
         }
@@ -314,10 +310,7 @@ impl AppHook for SnapshotApp {
                 // Both legs in one scattering: one position in the order.
                 out.push(
                     from,
-                    vec![
-                        Message::new(from, debit.freeze()),
-                        Message::new(to, credit.freeze()),
-                    ],
+                    vec![Message::new(from, debit.freeze()), Message::new(to, credit.freeze())],
                     true,
                 );
             }
@@ -328,9 +321,8 @@ impl AppHook for SnapshotApp {
                 b.put_u8(T_MARKER);
                 b.put_i64(0);
                 let marker = b.freeze();
-                let msgs: Vec<Message> = (0..self.n)
-                    .map(|q| Message::new(ProcessId(q), marker.clone()))
-                    .collect();
+                let msgs: Vec<Message> =
+                    (0..self.n).map(|q| Message::new(ProcessId(q), marker.clone())).collect();
                 out.push(ProcessId(0), msgs, true);
             }
         }
@@ -345,11 +337,8 @@ fn distributed_snapshot_is_consistent() {
     c.set_app(app.clone());
     c.run_for(5_000 * MICROS);
     let app = app.borrow();
-    let snap: Vec<i64> = app
-        .snapshot
-        .iter()
-        .map(|s| s.expect("every process recorded the marker"))
-        .collect();
+    let snap: Vec<i64> =
+        app.snapshot.iter().map(|s| s.expect("every process recorded the marker")).collect();
     let total: i64 = snap.iter().sum();
     assert_eq!(
         total,
@@ -395,17 +384,15 @@ impl AppHook for LockApp {
         let tag = p.get_u8();
         let r = receiver.0 as usize;
         match tag {
-            T_ACQ
-                if self.holder[r].is_none() => {
-                    self.holder[r] = Some(msg.src.0);
-                    self.grants[r].push(msg.src.0);
-                }
-                // (a real lock manager would queue waiters; for the
-                // invariant we only track uncontended grants)
-            T_REL
-                if self.holder[r] == Some(msg.src.0) => {
-                    self.holder[r] = None;
-                }
+            T_ACQ if self.holder[r].is_none() => {
+                self.holder[r] = Some(msg.src.0);
+                self.grants[r].push(msg.src.0);
+            }
+            // (a real lock manager would queue waiters; for the
+            // invariant we only track uncontended grants)
+            T_REL if self.holder[r] == Some(msg.src.0) => {
+                self.holder[r] = None;
+            }
             _ => {}
         }
     }
@@ -419,9 +406,8 @@ impl AppHook for LockApp {
             let i = p.0 as usize;
             let tag = if self.requested[i] { T_REL } else { T_ACQ };
             self.requested[i] = !self.requested[i];
-            let msgs: Vec<Message> = (0..self.n)
-                .map(|q| Message::new(ProcessId(q), Bytes::from(vec![tag])))
-                .collect();
+            let msgs: Vec<Message> =
+                (0..self.n).map(|q| Message::new(ProcessId(q), Bytes::from(vec![tag]))).collect();
             out.push(p, msgs, true);
         }
     }
