@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks of 1Pipe's hot paths: timestamp ordering,
-//! wire codec, barrier aggregation (eq. 4.1), the receive-side reorder
-//! buffer, and the zipfian workload generator — plus the reorder-buffer
-//! data-structure ablation (BTreeMap vs sorted Vec) from DESIGN.md §5.
+//! Criterion micro-benchmarks of 1Pipe's hot paths: the calendar-queue
+//! event scheduler, live routing, timestamp ordering, wire codec, barrier
+//! aggregation (eq. 4.1), the receive-side reorder buffer, and the
+//! zipfian workload generator — plus the reorder-buffer data-structure
+//! ablation (BTreeMap vs sorted Vec) from DESIGN.md §5.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use onepipe_core::frag::START_OF_MESSAGE;
@@ -11,6 +12,77 @@ use onepipe_types::ids::{NodeId, ProcessId};
 use onepipe_types::message::OrderKey;
 use onepipe_types::time::Timestamp;
 use onepipe_types::wire::{Datagram, Flags, PacketHeader};
+
+fn bench_sched(c: &mut Criterion) {
+    use onepipe_netsim::sched::CalendarQueue;
+    // Steady-state churn at a fixed population, the engine's actual
+    // usage pattern: each iteration pops the head and reschedules it a
+    // bounded distance ahead (one push + one pop, wheel tier).
+    let mut group = c.benchmark_group("sched/push_pop_churn");
+    for population in [64usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(population),
+            &population,
+            |bench, &population| {
+                let mut q: CalendarQueue<u32> = CalendarQueue::new();
+                for i in 0..population as u64 {
+                    q.push(i * 97 % 200_000, i as u32);
+                }
+                bench.iter(|| {
+                    let (t, _, item) = q.pop().unwrap();
+                    q.push(t + 1 + (item as u64 * 37) % 50_000, item);
+                    black_box(t)
+                })
+            },
+        );
+    }
+    group.finish();
+    // Far-future pushes exercise the sorted overflow tier and the bulk
+    // migration back into the wheel.
+    c.bench_function("sched/overflow_cycle_64", |bench| {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        let mut t = 0u64;
+        bench.iter(|| {
+            for i in 0..64u32 {
+                q.push(t + 1_000_000 + i as u64, i);
+            }
+            t += 1_000_000 + 64;
+            while let Some(pt) = q.peek_time() {
+                if pt > t {
+                    break;
+                }
+                black_box(q.pop());
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_route_live(c: &mut Criterion) {
+    use onepipe_netsim::engine::Sim;
+    use onepipe_netsim::topology::{FatTreeParams, Topology};
+    use onepipe_types::ids::HostId;
+    let mut sim = Sim::new(1);
+    let topo = Topology::build(&mut sim, FatTreeParams::testbed());
+    let n = topo.num_hosts() as u32;
+    let at = topo.tor_up_of(HostId(0));
+    // All links up: the first hashed candidate is viable (fast path).
+    c.bench_function("topology/route_live/all_up", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(topo.route_live(at, HostId(i % n), HostId((i * 7 + 1) % n), |_, _| true))
+        })
+    });
+    // Every link reported down: the failover scan runs to exhaustion.
+    c.bench_function("topology/route_live/all_down", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(topo.route_live(at, HostId(i % n), HostId((i * 7 + 1) % n), |_, _| false))
+        })
+    });
+}
 
 fn bench_timestamp(c: &mut Criterion) {
     let a = Timestamp::from_nanos(123_456_789);
@@ -120,6 +192,8 @@ fn bench_zipf(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_sched,
+    bench_route_live,
     bench_timestamp,
     bench_wire,
     bench_barrier_aggregation,

@@ -1,0 +1,177 @@
+//! Engine performance regression harness.
+//!
+//! Unlike the `fig*` binaries (which reproduce the paper's *results*),
+//! this one measures the *simulator itself*: how many discrete events and
+//! application deliveries per wall-clock second the engine sustains on
+//! two fixed-seed workloads, and the peak receive-side reorder-buffer
+//! footprint. It writes `BENCH_sim.json` at the repo root so successive
+//! PRs have a trajectory to regress against:
+//!
+//! ```bash
+//! cargo run --release -p onepipe-bench --bin perfbench            # full
+//! cargo run --release -p onepipe-bench --bin perfbench -- --smoke # CI
+//! ```
+//!
+//! Workloads (both deterministic, fixed seeds):
+//! - `fig8_broadcast`: the Figure-8 all-to-all scattering workload on the
+//!   32-server testbed fat-tree — barrier-heavy, fan-out-heavy.
+//! - `incast`: every process unicasts to process 0 — stresses one
+//!   reorder buffer and the ECMP down-path.
+//!
+//! Wall-clock rates vary with the machine; the JSON is *report-only*
+//! (trend data), not a gating threshold. Compare ratios between commits
+//! measured on the same machine, not absolute numbers across machines.
+
+use onepipe_bench::run_onepipe_broadcast;
+use onepipe_core::harness::{Cluster, ClusterConfig};
+use onepipe_types::ids::{HostId, ProcessId};
+use onepipe_types::message::Message;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Result of one measured workload.
+struct WorkloadReport {
+    name: &'static str,
+    /// Engine events processed.
+    events: u64,
+    /// Application-level deliveries observed.
+    deliveries: u64,
+    /// Simulated time covered, ns.
+    sim_ns: u64,
+    /// Wall-clock seconds the run took.
+    wall_s: f64,
+    /// Peak total receive-side reorder-buffer bytes across all hosts.
+    peak_reorder_bytes: usize,
+}
+
+impl WorkloadReport {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+
+    fn deliveries_per_sec(&self) -> f64 {
+        self.deliveries as f64 / self.wall_s
+    }
+
+    fn print(&self) {
+        println!(
+            "{:>16}: {:>10} events in {:>6.3} s  ({:>12.0} events/s, {:>10.0} deliveries/s, peak reorder {} B, sim {} ns)",
+            self.name,
+            self.events,
+            self.wall_s,
+            self.events_per_sec(),
+            self.deliveries_per_sec(),
+            self.peak_reorder_bytes,
+            self.sim_ns,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{\n      \"events\": {},\n      \"deliveries\": {},\n      \"sim_ns\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"deliveries_per_sec\": {:.1},\n      \"peak_reorder_bytes\": {}\n    }}",
+            self.name,
+            self.events,
+            self.deliveries,
+            self.sim_ns,
+            self.wall_s,
+            self.events_per_sec(),
+            self.deliveries_per_sec(),
+            self.peak_reorder_bytes,
+        )
+    }
+}
+
+fn peak_reorder_bytes(cluster: &mut Cluster) -> usize {
+    let mut total = 0usize;
+    for h in 0..cluster.topo.num_hosts() {
+        let host = HostId(h as u32);
+        if let Some(b) = cluster.with_host(host, |hl, _| {
+            hl.endpoints.iter().map(|e| e.max_rx_buffered()).sum::<usize>()
+        }) {
+            total += b;
+        }
+    }
+    total
+}
+
+/// Figure-8-style all-to-all broadcast on the 32-server testbed.
+fn bench_fig8_broadcast(smoke: bool) -> WorkloadReport {
+    let n = 32;
+    let mut cfg = ClusterConfig::testbed(n);
+    cfg.seed = 42;
+    let mut cluster = Cluster::new(cfg);
+    let dur_ns: u64 = if smoke { 400_000 } else { 2_000_000 };
+    let rate = 40_000.0; // broadcasts/s per process
+    let wall = Instant::now();
+    let m = run_onepipe_broadcast(&mut cluster, n, rate, dur_ns, false);
+    let wall_s = wall.elapsed().as_secs_f64();
+    WorkloadReport {
+        name: "fig8_broadcast",
+        events: cluster.sim.stats.events,
+        deliveries: m.delivered,
+        sim_ns: cluster.sim.now(),
+        wall_s,
+        peak_reorder_bytes: peak_reorder_bytes(&mut cluster),
+    }
+}
+
+/// Incast: every process unicasts 256-byte messages to process 0.
+fn bench_incast(smoke: bool) -> WorkloadReport {
+    let n = 32;
+    let mut cfg = ClusterConfig::testbed(n);
+    cfg.seed = 43;
+    let mut cluster = Cluster::new(cfg);
+    let dur_ns: u64 = if smoke { 400_000 } else { 2_000_000 };
+    let interval = 5_000u64; // each process sends every 5 µs
+    let wall = Instant::now();
+    cluster.run_for(100_000); // barrier warm-up
+    let t0 = cluster.sim.now();
+    let mut t = t0;
+    let sink = ProcessId(0);
+    while t < t0 + dur_ns {
+        cluster.run_until(t);
+        for p in 1..n as u32 {
+            let _ = cluster.send(ProcessId(p), vec![Message::new(sink, vec![0u8; 256])], false);
+        }
+        t += interval;
+    }
+    cluster.run_for(2_000_000); // drain
+    let wall_s = wall.elapsed().as_secs_f64();
+    let deliveries = cluster.take_deliveries().len() as u64;
+    WorkloadReport {
+        name: "incast",
+        events: cluster.sim.stats.events,
+        deliveries,
+        sim_ns: cluster.sim.now(),
+        wall_s,
+        peak_reorder_bytes: peak_reorder_bytes(&mut cluster),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("perfbench ({mode} mode)");
+
+    let reports = [bench_fig8_broadcast(smoke), bench_incast(smoke)];
+    for r in &reports {
+        r.print();
+    }
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    let _ = writeln!(body, "  \"generated_by\": \"perfbench\",");
+    let _ = writeln!(body, "  \"mode\": \"{mode}\",");
+    body.push_str("  \"workloads\": {\n");
+    let entries: Vec<String> = reports.iter().map(|r| r.json()).collect();
+    body.push_str(&entries.join(",\n"));
+    body.push_str("\n  }\n}\n");
+
+    // The bench crate lives at <root>/crates/bench.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_sim.json");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("perfbench: could not write {}: {e}", path.display()),
+    }
+}

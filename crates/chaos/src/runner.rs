@@ -87,6 +87,11 @@ pub struct SeedOutcome {
     /// Faults the engine actually executed (crashes, link transitions,
     /// loss mutations) — cross-check against the schedule length.
     pub faults_injected: u64,
+    /// Canonical rendering of every delivery across the cluster, one line
+    /// per delivery in delivery order. Byte-identical across replays of
+    /// the same `(cfg, seed, schedule)`; the engine-determinism regression
+    /// test diffs this against a recorded golden log.
+    pub delivery_log: String,
 }
 
 /// A whole campaign's outcomes plus any minimized repros.
@@ -206,6 +211,7 @@ pub fn run_with_schedule(cfg: &CampaignConfig, seed: u64, schedule: &FaultSchedu
         }
     }
     let deliveries = c.deliveries.borrow().len();
+    let delivery_log = render_delivery_log(&c.deliveries.borrow());
     let faults_injected = c.sim.stats.faults_injected();
     let mut o = oracle.borrow_mut();
     o.finalize(c.sim.now(), &failed);
@@ -216,7 +222,29 @@ pub fn run_with_schedule(cfg: &CampaignConfig, seed: u64, schedule: &FaultSchedu
         sends,
         deliveries,
         faults_injected,
+        delivery_log,
     }
+}
+
+/// Render a cluster's delivery records as one canonical line each:
+/// `at=<ns> rx=<proc> src=<proc> seq=<n> ts=<raw> len=<bytes> rel=<0|1>`.
+fn render_delivery_log(records: &[onepipe_core::simhost::DeliveryRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 48);
+    for r in records {
+        use std::fmt::Write;
+        let _ = writeln!(
+            s,
+            "at={} rx={} src={} seq={} ts={} len={} rel={}",
+            r.at,
+            r.receiver.0,
+            r.msg.src.0,
+            r.msg.seq,
+            r.msg.ts.raw(),
+            r.msg.payload.len(),
+            r.reliable as u8,
+        );
+    }
+    s
 }
 
 /// Run seeds `0..n_seeds`, generating each schedule from the seed and the

@@ -545,6 +545,16 @@ impl Cluster {
     }
 
     fn pump_control(&mut self) {
+        // Fast path: the harness pumps once per simulated event, so the
+        // common no-op case (no detect reports, no endpoint requests, no
+        // failure handling in flight) must not pay for drains and
+        // controller ticks.
+        if !self.controller.has_pending()
+            && self.switch_events.borrow().is_empty()
+            && self.ctrl_outbox.borrow().is_empty()
+        {
+            return;
+        }
         let now = self.sim.now();
         // Switch detect reports.
         let events: Vec<SwitchEvent> = self.switch_events.borrow_mut().drain(..).collect();

@@ -32,33 +32,81 @@ pub struct MsgKey {
 }
 
 /// A partially assembled message.
+///
+/// Fragments of one message carry consecutive PSNs, so they live in a
+/// contiguous slot vector anchored at `base_psn` (`None` marks a gap)
+/// rather than a per-fragment tree: insertion on the receive hot path is
+/// an index store, not a `BTreeMap` node allocation.
 #[derive(Debug, Default)]
 struct PendingMsg {
-    /// Fragments by PSN (application bytes, prefix already stripped).
-    frags: BTreeMap<u32, Bytes>,
+    /// Fragment slots for PSNs `base_psn..` (application bytes, prefix
+    /// already stripped).
+    frags: Vec<Option<Bytes>>,
+    /// PSN of `frags[0]`. Meaningless while `frags` is empty.
+    base_psn: u32,
+    /// Number of distinct fragments received.
+    received: usize,
     start_psn: Option<u32>,
     end_psn: Option<u32>,
     bytes: usize,
 }
 
 impl PendingMsg {
+    /// Store one fragment; returns `false` on a duplicate PSN.
+    fn insert(&mut self, psn: u32, data: Bytes) -> bool {
+        if self.frags.is_empty() {
+            self.base_psn = psn;
+            self.frags.push(Some(data));
+            self.received = 1;
+            return true;
+        }
+        let off = psn.wrapping_sub(self.base_psn);
+        if off >= 1 << 31 {
+            // PSN precedes the anchor (fragments arrived out of order):
+            // rebase by prepending gap slots. Rare — bounded by one
+            // message's fragment count.
+            let shift = self.base_psn.wrapping_sub(psn) as usize;
+            let mut v = Vec::with_capacity(self.frags.len() + shift);
+            v.push(Some(data));
+            v.extend(std::iter::repeat_with(|| None).take(shift - 1));
+            v.append(&mut self.frags);
+            self.frags = v;
+            self.base_psn = psn;
+            self.received += 1;
+            return true;
+        }
+        let off = off as usize;
+        if off >= self.frags.len() {
+            self.frags.resize_with(off + 1, || None);
+        }
+        if self.frags[off].is_some() {
+            return false;
+        }
+        self.frags[off] = Some(data);
+        self.received += 1;
+        true
+    }
+
     fn is_complete(&self) -> bool {
         match (self.start_psn, self.end_psn) {
-            (Some(s), Some(e)) => e.wrapping_sub(s) as usize + 1 == self.frags.len(),
+            (Some(s), Some(e)) => e.wrapping_sub(s) as usize + 1 == self.received,
             _ => false,
         }
     }
 
     fn assemble(self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.bytes);
-        for (_, frag) in self.frags {
+        for frag in self.frags.into_iter().flatten() {
             buf.extend_from_slice(&frag);
         }
         buf.freeze()
     }
 
     fn any_psn(&self) -> u32 {
-        self.frags.keys().next().copied().unwrap_or(0)
+        match self.frags.iter().position(|f| f.is_some()) {
+            Some(i) => self.base_psn.wrapping_add(i as u32),
+            None => 0,
+        }
     }
 }
 
@@ -165,9 +213,12 @@ impl ReorderBuffer {
         if flags.contains(Flags::END_OF_MESSAGE) {
             entry.end_psn = Some(psn);
         }
-        if entry.frags.insert(psn, data.clone()).is_none() {
-            entry.bytes += data.len();
-            self.bytes += data.len();
+        // Duplicate detection happens inside `insert`, so the payload is
+        // moved in (refcount-free) rather than cloned up front.
+        let len = data.len();
+        if entry.insert(psn, data) {
+            entry.bytes += len;
+            self.bytes += len;
             self.max_bytes = self.max_bytes.max(self.bytes);
         }
         if self.unordered && entry.is_complete() {

@@ -1,6 +1,7 @@
 //! The discrete-event engine: event queue, node dispatch, link transit.
 
 use crate::link::{Enqueue, Link, LinkParams};
+use crate::sched::CalendarQueue;
 use crate::stats::Stats;
 use crate::trace::{TraceRecord, TracerHandle};
 use onepipe_types::ids::{LinkId, NodeId};
@@ -8,8 +9,6 @@ use onepipe_types::time::Duration;
 use onepipe_types::wire::{Datagram, Flags, HEADER_LEN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Fixed per-packet overhead on the wire beyond the 1Pipe datagram:
 /// Ethernet + IP + UDP headers (≈ RoCE UD framing in the testbed).
@@ -51,6 +50,69 @@ pub trait NodeLogic {
     }
 }
 
+/// Sentinel slot meaning "no such link" in [`LinkTable`].
+const NO_LINK: u32 = u32::MAX;
+
+/// Dense directed-link storage. `slot[from][to]` indexes into `links`,
+/// so the per-hop lookups on the forwarding path (`Ctx::send`, the
+/// viability oracle behind ECMP failover) are two array reads instead of
+/// a hash. Rows grow on demand; node-id space is small and dense.
+struct LinkTable {
+    slot: Vec<Vec<u32>>,
+    links: Vec<Link>,
+}
+
+impl LinkTable {
+    fn new() -> Self {
+        LinkTable { slot: Vec::new(), links: Vec::new() }
+    }
+
+    /// Insert a link; returns `false` if it already exists.
+    fn insert(&mut self, id: LinkId, link: Link) -> bool {
+        let (f, t) = (id.from.0 as usize, id.to.0 as usize);
+        if self.slot.len() <= f {
+            self.slot.resize_with(f + 1, Vec::new);
+        }
+        let row = &mut self.slot[f];
+        if row.len() <= t {
+            row.resize(t + 1, NO_LINK);
+        }
+        if row[t] != NO_LINK {
+            return false;
+        }
+        row[t] = self.links.len() as u32;
+        self.links.push(link);
+        true
+    }
+
+    #[inline]
+    fn index(&self, id: LinkId) -> Option<usize> {
+        let s = *self.slot.get(id.from.0 as usize)?.get(id.to.0 as usize)?;
+        if s == NO_LINK {
+            None
+        } else {
+            Some(s as usize)
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: LinkId) -> Option<&Link> {
+        self.index(id).map(|i| &self.links[i])
+    }
+
+    #[inline]
+    fn get_mut(&mut self, id: LinkId) -> Option<&mut Link> {
+        match self.index(id) {
+            Some(i) => Some(&mut self.links[i]),
+            None => None,
+        }
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Link> {
+        self.links.iter_mut()
+    }
+}
+
 enum EventKind {
     Arrive { to: NodeId, from: NodeId, pkt: SimPacket },
     Timer { node: NodeId, token: u64 },
@@ -61,29 +123,6 @@ enum EventKind {
     Start { node: NodeId },
 }
 
-struct Scheduled {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The execution context handed to [`NodeLogic`] callbacks.
 ///
 /// Provides the node's view of the world: current time, packet
@@ -92,9 +131,8 @@ impl Ord for Scheduled {
 pub struct Ctx<'a> {
     now: u64,
     node: NodeId,
-    queue: &'a mut BinaryHeap<Reverse<Scheduled>>,
-    seq: &'a mut u64,
-    links: &'a mut HashMap<LinkId, Link>,
+    queue: &'a mut CalendarQueue<EventKind>,
+    links: &'a mut LinkTable,
     out_neighbors: &'a [Vec<NodeId>],
     in_neighbors: &'a [Vec<NodeId>],
     rng: &'a mut StdRng,
@@ -113,13 +151,20 @@ impl<'a> Ctx<'a> {
     }
 
     /// Outgoing neighbors of this node.
-    pub fn out_neighbors(&self) -> &[NodeId] {
-        &self.out_neighbors[self.node.0 as usize]
+    ///
+    /// The returned slice borrows the simulator's topology (lifetime
+    /// `'a`), not this `Ctx` — callers can iterate it while calling
+    /// `&mut self` methods like [`Ctx::send`], with no defensive clone.
+    pub fn out_neighbors(&self) -> &'a [NodeId] {
+        let all: &'a [Vec<NodeId>] = self.out_neighbors;
+        &all[self.node.0 as usize]
     }
 
-    /// Incoming neighbors of this node.
-    pub fn in_neighbors(&self) -> &[NodeId] {
-        &self.in_neighbors[self.node.0 as usize]
+    /// Incoming neighbors of this node (lifetime `'a`, like
+    /// [`Ctx::out_neighbors`]).
+    pub fn in_neighbors(&self) -> &'a [NodeId] {
+        let all: &'a [Vec<NodeId>] = self.in_neighbors;
+        &all[self.node.0 as usize]
     }
 
     /// Deterministic RNG (seeded at simulation construction).
@@ -139,7 +184,7 @@ impl<'a> Ctx<'a> {
     /// transmitter (it may still be lost in flight).
     pub fn send(&mut self, to: NodeId, mut pkt: SimPacket) -> bool {
         let link_id = LinkId::new(self.node, to);
-        let Some(link) = self.links.get_mut(&link_id) else {
+        let Some(link) = self.links.get_mut(link_id) else {
             self.stats.drops_no_link += 1;
             return false;
         };
@@ -154,12 +199,7 @@ impl<'a> Ctx<'a> {
                 if lost {
                     self.stats.drops_inflight += 1;
                 } else {
-                    push(
-                        self.queue,
-                        self.seq,
-                        arrive_ns,
-                        EventKind::Arrive { to, from: self.node, pkt },
-                    );
+                    self.queue.push(arrive_ns, EventKind::Arrive { to, from: self.node, pkt });
                 }
                 self.stats.packets_sent += 1;
                 true
@@ -177,17 +217,17 @@ impl<'a> Ctx<'a> {
 
     /// Arm a timer that fires `delay` ns from now with the given token.
     pub fn set_timer(&mut self, delay: Duration, token: u64) {
-        push(self.queue, self.seq, self.now + delay, EventKind::Timer { node: self.node, token });
+        self.queue.push(self.now + delay, EventKind::Timer { node: self.node, token });
     }
 
     /// Inspect the queue occupancy of an outgoing link, in bytes.
     pub fn link_queue_bytes(&self, to: NodeId) -> Option<u64> {
-        self.links.get(&LinkId::new(self.node, to)).map(|l| l.queue_bytes(self.now))
+        self.links.get(LinkId::new(self.node, to)).map(|l| l.queue_bytes(self.now))
     }
 
     /// Whether the outgoing link to `to` is up.
     pub fn link_is_up(&self, to: NodeId) -> bool {
-        self.links.get(&LinkId::new(self.node, to)).map(|l| l.is_up()).unwrap_or(false)
+        self.links.get(LinkId::new(self.node, to)).map(|l| l.is_up()).unwrap_or(false)
     }
 
     /// Whether an arbitrary directed link `from → to` is up. Switch logic
@@ -195,23 +235,17 @@ impl<'a> Ctx<'a> {
     /// protocol would provide: forwarding avoids next hops whose entire
     /// downstream path is dead, not just hops behind a locally-down port.
     pub fn global_link_is_up(&self, from: NodeId, to: NodeId) -> bool {
-        self.links.get(&LinkId::new(from, to)).map(|l| l.is_up()).unwrap_or(false)
+        self.links.get(LinkId::new(from, to)).map(|l| l.is_up()).unwrap_or(false)
     }
-}
-
-fn push(queue: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, time: u64, kind: EventKind) {
-    *seq += 1;
-    queue.push(Reverse(Scheduled { time, seq: *seq, kind }));
 }
 
 /// The simulator: nodes, links and the event queue.
 pub struct Sim {
     now: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    queue: CalendarQueue<EventKind>,
     nodes: Vec<Option<Box<dyn NodeLogic>>>,
     crashed: Vec<bool>,
-    links: HashMap<LinkId, Link>,
+    links: LinkTable,
     out_neighbors: Vec<Vec<NodeId>>,
     in_neighbors: Vec<Vec<NodeId>>,
     rng: StdRng,
@@ -225,11 +259,10 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: 0,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
             nodes: Vec::new(),
             crashed: Vec::new(),
-            links: HashMap::new(),
+            links: LinkTable::new(),
             out_neighbors: Vec::new(),
             in_neighbors: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -262,13 +295,13 @@ impl Sim {
     /// scheduled at the current time.
     pub fn set_logic(&mut self, node: NodeId, logic: Box<dyn NodeLogic>) {
         self.nodes[node.0 as usize] = Some(logic);
-        push(&mut self.queue, &mut self.seq, self.now, EventKind::Start { node });
+        self.queue.push(self.now, EventKind::Start { node });
     }
 
     /// Add a directed link with the given parameters.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
         let id = LinkId::new(from, to);
-        assert!(self.links.insert(id, Link::new(params)).is_none(), "duplicate link {id:?}");
+        assert!(self.links.insert(id, Link::new(params)), "duplicate link {id:?}");
         self.out_neighbors[from.0 as usize].push(to);
         self.in_neighbors[to.0 as usize].push(from);
     }
@@ -281,12 +314,12 @@ impl Sim {
 
     /// Mutable access to a link (loss-rate adjustment, inspection).
     pub fn link_mut(&mut self, id: LinkId) -> Option<&mut Link> {
-        self.links.get_mut(&id)
+        self.links.get_mut(id)
     }
 
     /// Shared access to a link.
     pub fn link(&self, id: LinkId) -> Option<&Link> {
-        self.links.get(&id)
+        self.links.get(id)
     }
 
     /// Set the loss rate of every link in the network.
@@ -299,7 +332,7 @@ impl Sim {
     /// Schedule an administrative link up/down change at `at` (absolute ns).
     pub fn schedule_link_admin(&mut self, at: u64, link: LinkId, up: bool) {
         assert!(at >= self.now);
-        push(&mut self.queue, &mut self.seq, at, EventKind::LinkAdmin { link, up });
+        self.queue.push(at, EventKind::LinkAdmin { link, up });
     }
 
     /// Schedule the directed link to go administratively down at `at`.
@@ -317,27 +350,27 @@ impl Sim {
     pub fn schedule_link_loss(&mut self, at: u64, link: LinkId, rate: f64) {
         assert!(at >= self.now);
         assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
-        push(&mut self.queue, &mut self.seq, at, EventKind::LinkLoss { link, rate });
+        self.queue.push(at, EventKind::LinkLoss { link, rate });
     }
 
     /// Schedule a network-wide loss-rate change at `at` (absolute ns).
     pub fn schedule_global_loss(&mut self, at: u64, rate: f64) {
         assert!(at >= self.now);
         assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
-        push(&mut self.queue, &mut self.seq, at, EventKind::GlobalLoss { rate });
+        self.queue.push(at, EventKind::GlobalLoss { rate });
     }
 
     /// Schedule a node crash at `at` (absolute ns): the node stops
     /// processing all events from that time on.
     pub fn schedule_crash(&mut self, at: u64, node: NodeId) {
         assert!(at >= self.now);
-        push(&mut self.queue, &mut self.seq, at, EventKind::Crash { node });
+        self.queue.push(at, EventKind::Crash { node });
     }
 
     /// Schedule a timer on a node from outside (harness hook).
     pub fn schedule_timer(&mut self, at: u64, node: NodeId, token: u64) {
         assert!(at >= self.now);
-        push(&mut self.queue, &mut self.seq, at, EventKind::Timer { node, token });
+        self.queue.push(at, EventKind::Timer { node, token });
     }
 
     /// Whether a node has been crashed.
@@ -346,8 +379,10 @@ impl Sim {
     }
 
     /// Time of the next queued event, if any (harness interleaving).
-    pub fn peek_time(&self) -> Option<u64> {
-        self.queue.peek().map(|Reverse(s)| s.time)
+    /// Amortized O(1); `&mut` because the calendar queue may lazily sort
+    /// its head bucket (work the following `step` reuses).
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.queue.peek_time()
     }
 
     /// Outgoing neighbors of a node.
@@ -389,7 +424,6 @@ impl Sim {
             now: self.now,
             node,
             queue: &mut self.queue,
-            seq: &mut self.seq,
             links: &mut self.links,
             out_neighbors: &self.out_neighbors,
             in_neighbors: &self.in_neighbors,
@@ -403,13 +437,13 @@ impl Sim {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((time, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.stats.events += 1;
-        match ev.kind {
+        match kind {
             EventKind::Arrive { to, from, pkt } => {
                 if !self.crashed[to.0 as usize] {
                     // Packets arriving over a link that went down mid-flight
@@ -423,13 +457,13 @@ impl Sim {
                 }
             }
             EventKind::LinkAdmin { link, up } => {
-                if let Some(l) = self.links.get_mut(&link) {
+                if let Some(l) = self.links.get_mut(link) {
                     l.set_up(up);
                     self.stats.faults_link_flaps += 1;
                 }
             }
             EventKind::LinkLoss { link, rate } => {
-                if let Some(l) = self.links.get_mut(&link) {
+                if let Some(l) = self.links.get_mut(link) {
                     l.params.loss_rate = rate;
                     self.stats.faults_loss_bursts += 1;
                 }
@@ -444,13 +478,14 @@ impl Sim {
                 self.crashed[node.0 as usize] = true;
                 self.stats.faults_crashes += 1;
                 // Take both directions of every attached link down.
-                for peer in self.out_neighbors[node.0 as usize].clone() {
-                    if let Some(l) = self.links.get_mut(&LinkId::new(node, peer)) {
+                // (Disjoint field borrows: neighbor lists shared, links mut.)
+                for &peer in &self.out_neighbors[node.0 as usize] {
+                    if let Some(l) = self.links.get_mut(LinkId::new(node, peer)) {
                         l.set_up(false);
                     }
                 }
-                for peer in self.in_neighbors[node.0 as usize].clone() {
-                    if let Some(l) = self.links.get_mut(&LinkId::new(peer, node)) {
+                for &peer in &self.in_neighbors[node.0 as usize] {
+                    if let Some(l) = self.links.get_mut(LinkId::new(peer, node)) {
                         l.set_up(false);
                     }
                 }
@@ -467,8 +502,8 @@ impl Sim {
     /// Run until the event queue is exhausted or `t_end` (ns) is reached.
     /// Events at exactly `t_end` are processed.
     pub fn run_until(&mut self, t_end: u64) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > t_end {
+        while let Some(head_time) = self.queue.peek_time() {
+            if head_time > t_end {
                 break;
             }
             self.step();
@@ -504,7 +539,6 @@ impl Sim {
             now: self.now,
             node: to,
             queue: &mut self.queue,
-            seq: &mut self.seq,
             links: &mut self.links,
             out_neighbors: &self.out_neighbors,
             in_neighbors: &self.in_neighbors,
@@ -523,7 +557,6 @@ impl Sim {
             now: self.now,
             node,
             queue: &mut self.queue,
-            seq: &mut self.seq,
             links: &mut self.links,
             out_neighbors: &self.out_neighbors,
             in_neighbors: &self.in_neighbors,
@@ -542,7 +575,6 @@ impl Sim {
             now: self.now,
             node,
             queue: &mut self.queue,
-            seq: &mut self.seq,
             links: &mut self.links,
             out_neighbors: &self.out_neighbors,
             in_neighbors: &self.in_neighbors,

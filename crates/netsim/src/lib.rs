@@ -27,6 +27,7 @@
 pub mod engine;
 pub mod link;
 pub mod pcap;
+pub mod sched;
 pub mod stats;
 pub mod topology;
 pub mod trace;

@@ -356,12 +356,16 @@ impl Topology {
         if self.hop_viable(at, first, dst, &up) {
             return Some(first);
         }
-        let live: Vec<NodeId> =
-            hops.iter().copied().filter(|&n| self.hop_viable(at, n, dst, &up)).collect();
-        if live.is_empty() {
+        // Failover (rare): rehash over the viable survivors without
+        // materializing them — count first, then select the k-th viable
+        // hop in a second pass. This keeps the per-packet fast path and
+        // the failover path allocation-free.
+        let live = hops.iter().filter(|&&n| self.hop_viable(at, n, dst, &up)).count();
+        if live == 0 {
             return None;
         }
-        Some(live[(h % live.len() as u64) as usize])
+        let k = (h % live as u64) as usize;
+        hops.iter().copied().filter(|&n| self.hop_viable(at, n, dst, &up)).nth(k)
     }
 
     /// Whether forwarding `at → hop` can still deliver to `dst`: the

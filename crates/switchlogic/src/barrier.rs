@@ -11,6 +11,10 @@ use onepipe_types::time::Timestamp;
 #[derive(Clone, Debug)]
 pub struct BarrierAggregator {
     inputs: Vec<NodeId>,
+    /// Dense NodeId → input-slot map (node ids are small and dense);
+    /// `u16::MAX` marks "not an input". Barrier observations run per
+    /// packet, so the slot lookup must not scan.
+    index: Vec<u16>,
     /// Best-effort barrier register per input link.
     be: Vec<Timestamp>,
     /// Commit barrier register per input link.
@@ -36,6 +40,14 @@ pub struct BarrierAggregator {
     out_be: Timestamp,
     /// Monotonic clamp on the outgoing commit barrier.
     out_commit: Timestamp,
+    /// Cached [`Self::out_be`] result, valid until a best-effort
+    /// register or liveness change. Only populated when the result is
+    /// independent of `now` (some input live), so serving it is exact.
+    /// The chip rewrites barriers per forwarded packet but registers
+    /// only change ~once per beacon interval, so this hits often.
+    be_cache: Option<Timestamp>,
+    /// Cached [`Self::out_commit`] result (same rules).
+    commit_cache: Option<Timestamp>,
     /// Number of min-computations performed (CPU cost model, Figure 13a).
     pub min_computes: u64,
 }
@@ -46,8 +58,18 @@ impl BarrierAggregator {
     /// live input link has reported.
     pub fn new(inputs: Vec<NodeId>) -> Self {
         let n = inputs.len();
+        assert!(n < u16::MAX as usize, "too many input links");
+        let mut index = Vec::new();
+        for (i, link) in inputs.iter().enumerate() {
+            let id = link.0 as usize;
+            if index.len() <= id {
+                index.resize(id + 1, u16::MAX);
+            }
+            index[id] = i as u16;
+        }
         BarrierAggregator {
             inputs,
+            index,
             be: vec![Timestamp::ZERO; n],
             commit: vec![Timestamp::ZERO; n],
             last_heard: vec![0; n],
@@ -56,12 +78,17 @@ impl BarrierAggregator {
             quarantined: vec![false; n],
             out_be: Timestamp::ZERO,
             out_commit: Timestamp::ZERO,
+            be_cache: None,
+            commit_cache: None,
             min_computes: 0,
         }
     }
 
     fn index_of(&self, link: NodeId) -> Option<usize> {
-        self.inputs.iter().position(|&n| n == link)
+        match self.index.get(link.0 as usize) {
+            Some(&i) if i != u16::MAX => Some(i as usize),
+            _ => None,
+        }
     }
 
     /// The input links this aggregator watches.
@@ -81,12 +108,19 @@ impl BarrierAggregator {
         // the "never heard" sentinel: the first real value replaces it
         // outright (deployment clocks may sit anywhere in the 48-bit
         // ring, where a ring-max against ZERO would misorder).
-        self.be[i] = if self.be[i] == Timestamp::ZERO { barrier } else { self.be[i].max(barrier) };
+        let new = if self.be[i] == Timestamp::ZERO { barrier } else { self.be[i].max(barrier) };
+        if new != self.be[i] {
+            self.be[i] = new;
+            self.be_cache = None;
+        }
         self.last_heard[i] = now;
         // A link that speaks again leaves the best-effort dead set (§4.2
         // "addition of new hosts and links"); the monotonic output clamp
         // absorbs any regression while it catches up.
-        self.be_dead[i] = false;
+        if self.be_dead[i] {
+            self.be_dead[i] = false;
+            self.be_cache = None;
+        }
         true
     }
 
@@ -96,8 +130,12 @@ impl BarrierAggregator {
         if self.quarantined[i] {
             return true;
         }
-        self.commit[i] =
+        let new =
             if self.commit[i] == Timestamp::ZERO { barrier } else { self.commit[i].max(barrier) };
+        if new != self.commit[i] {
+            self.commit[i] = new;
+            self.commit_cache = None;
+        }
         self.last_heard[i] = now;
         true
     }
@@ -111,7 +149,10 @@ impl BarrierAggregator {
                 return;
             }
             self.last_heard[i] = now;
-            self.be_dead[i] = false;
+            if self.be_dead[i] {
+                self.be_dead[i] = false;
+                self.be_cache = None;
+            }
         }
     }
 
@@ -123,6 +164,9 @@ impl BarrierAggregator {
     /// is discarded by the failure announcement anyway).
     pub fn out_be(&mut self, now: u64) -> Timestamp {
         self.min_computes += 1;
+        if let Some(c) = self.be_cache {
+            return c;
+        }
         let mut any_live = false;
         let mut min: Option<Timestamp> = None;
         for i in 0..self.inputs.len() {
@@ -134,6 +178,7 @@ impl BarrierAggregator {
                 // A live link that has never reported pins the output at
                 // "no information" (ring comparison against the ZERO
                 // sentinel would be meaningless).
+                self.be_cache = Some(self.out_be);
                 return self.out_be;
             }
             min = Some(match min {
@@ -147,6 +192,9 @@ impl BarrierAggregator {
         if let Some(m) = min {
             self.out_be = if self.out_be == Timestamp::ZERO { m } else { self.out_be.max(m) };
         }
+        if any_live {
+            self.be_cache = Some(self.out_be);
+        }
         self.out_be
     }
 
@@ -156,6 +204,9 @@ impl BarrierAggregator {
     /// output tracks `now`.
     pub fn out_commit(&mut self, now: u64) -> Timestamp {
         self.min_computes += 1;
+        if let Some(c) = self.commit_cache {
+            return c;
+        }
         let mut any_live = false;
         let mut min: Option<Timestamp> = None;
         for i in 0..self.inputs.len() {
@@ -164,6 +215,7 @@ impl BarrierAggregator {
             }
             any_live = true;
             if self.commit[i] == Timestamp::ZERO {
+                self.commit_cache = Some(self.out_commit);
                 return self.out_commit;
             }
             min = Some(match min {
@@ -177,6 +229,9 @@ impl BarrierAggregator {
         if let Some(m) = min {
             self.out_commit =
                 if self.out_commit == Timestamp::ZERO { m } else { self.out_commit.max(m) };
+        }
+        if any_live {
+            self.commit_cache = Some(self.out_commit);
         }
         self.out_commit
     }
@@ -192,6 +247,7 @@ impl BarrierAggregator {
             }
             if now.saturating_sub(self.last_heard[i]) > timeout {
                 self.be_dead[i] = true;
+                self.be_cache = None;
                 // The death is about to be reported: from here the input
                 // is failed by fiat and may only rejoin via the
                 // controller (`restore_input`).
@@ -207,6 +263,7 @@ impl BarrierAggregator {
         match self.index_of(from) {
             Some(i) => {
                 self.commit_dead[i] = true;
+                self.commit_cache = None;
                 true
             }
             None => false,
@@ -223,6 +280,8 @@ impl BarrierAggregator {
                 self.commit_dead[i] = false;
                 self.quarantined[i] = false;
                 self.last_heard[i] = now;
+                self.be_cache = None;
+                self.commit_cache = None;
                 true
             }
             None => false,

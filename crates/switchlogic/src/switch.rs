@@ -9,7 +9,7 @@ use onepipe_types::process_map::ProcessMap;
 use onepipe_types::time::{Duration, Timestamp, MICROS};
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Sentinel process id used on hop-by-hop packets (beacons) that have no
@@ -129,18 +129,32 @@ pub struct SwitchCounters {
     pub unroutable: u64,
 }
 
+/// Sentinel for "no beacon ever sent" on an output port.
+const NEVER_TX: u64 = u64::MAX;
+
+/// Per-output-link transmit state, stored densely in the out-neighbor
+/// order of the switch (the forwarding path updates it per packet, so
+/// it must not hash).
+#[derive(Clone, Copy, Debug)]
+struct OutPort {
+    /// The downstream neighbor this port leads to.
+    to: NodeId,
+    /// Last time a barrier-carrying packet left on this link.
+    last_tx: u64,
+    /// Last time a beacon left on this link (relay rate limiting).
+    last_beacon_tx: u64,
+    /// Barrier values most recently advertised on this link, whether by
+    /// a rewritten data packet or a beacon.
+    advertised: (Timestamp, Timestamp),
+}
+
 /// Node logic of one logical switch (an up- or down-half).
 pub struct SwitchLogic {
     shared: SwitchShared,
     cfg: SwitchConfig,
     agg: BarrierAggregator,
-    /// Last time a barrier-carrying packet left on each output link.
-    last_tx: HashMap<NodeId, u64>,
-    /// Last time a beacon left on each output link (relay rate limiting).
-    last_beacon_tx: HashMap<NodeId, u64>,
-    /// Barrier values most recently advertised on each output link,
-    /// whether by a rewritten data packet or a beacon.
-    advertised: HashMap<NodeId, (Timestamp, Timestamp)>,
+    /// Output-port state, parallel to the node's out-neighbor list.
+    ports: Vec<OutPort>,
     /// Beacon values awaiting delayed emission (CPU/delegate modes).
     pending_emissions: VecDeque<(Timestamp, Timestamp)>,
     /// CPU/delegate: an emission is already scheduled.
@@ -159,9 +173,7 @@ impl SwitchLogic {
             shared,
             cfg,
             agg: BarrierAggregator::new(Vec::new()),
-            last_tx: HashMap::new(),
-            last_beacon_tx: HashMap::new(),
-            advertised: HashMap::new(),
+            ports: Vec::new(),
             pending_emissions: VecDeque::new(),
             emission_pending: false,
             relay_pending: false,
@@ -218,56 +230,57 @@ impl SwitchLogic {
         ctx.set_timer(delay, TOKEN_BEACON);
     }
 
-    fn forward(&mut self, ctx: &mut Ctx<'_>, pkt: SimPacket) {
+    /// Resolve the live ECMP next hop for `pkt`'s destination, counting
+    /// unroutable packets. The single routing lookup shared by the plain
+    /// and barrier-rewriting forwarding paths.
+    fn next_hop(&mut self, ctx: &Ctx<'_>, pkt: &SimPacket) -> Option<NodeId> {
         let Some(dst_host) = self.shared.procs.host_of(pkt.dgram.dst) else {
             self.counters.unroutable += 1;
-            return;
+            return None;
         };
         let src_host =
             self.shared.procs.host_of(pkt.dgram.src).unwrap_or(onepipe_types::ids::HostId(0));
-        let Some(next) = self
+        let next = self
             .shared
             .topo
-            .route_live(ctx.node(), src_host, dst_host, |a, b| ctx.global_link_is_up(a, b))
-        else {
+            .route_live(ctx.node(), src_host, dst_host, |a, b| ctx.global_link_is_up(a, b));
+        if next.is_none() {
             self.counters.unroutable += 1;
-            return;
-        };
+        }
+        next
+    }
+
+    /// The output-port slot leading to `to`.
+    fn port_index(&self, to: NodeId) -> Option<usize> {
+        self.ports.iter().position(|p| p.to == to)
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_>, pkt: SimPacket) {
+        let Some(next) = self.next_hop(ctx, &pkt) else { return };
         self.counters.forwarded += 1;
         ctx.send(next, pkt);
     }
 
     /// Forward with per-packet barrier rewrite (chip incarnation).
     fn forward_rewritten(&mut self, ctx: &mut Ctx<'_>, mut pkt: SimPacket) {
-        let Some(dst_host) = self.shared.procs.host_of(pkt.dgram.dst) else {
-            self.counters.unroutable += 1;
-            return;
-        };
-        let src_host =
-            self.shared.procs.host_of(pkt.dgram.src).unwrap_or(onepipe_types::ids::HostId(0));
-        let Some(next) = self
-            .shared
-            .topo
-            .route_live(ctx.node(), src_host, dst_host, |a, b| ctx.global_link_is_up(a, b))
-        else {
-            self.counters.unroutable += 1;
-            return;
-        };
-        let be = self.agg.out_be(ctx.now());
-        let commit = self.agg.out_commit(ctx.now());
+        let Some(next) = self.next_hop(ctx, &pkt) else { return };
+        let now = ctx.now();
+        let be = self.agg.out_be(now);
+        let commit = self.agg.out_commit(now);
         pkt.dgram.header.barrier = be;
         pkt.dgram.header.commit_barrier = commit;
-        self.last_tx.insert(next, ctx.now());
-        let adv = self.advertised.entry(next).or_insert((Timestamp::ZERO, Timestamp::ZERO));
-        adv.0 = adv.0.max(be);
-        adv.1 = adv.1.max(commit);
+        if let Some(i) = self.port_index(next) {
+            let p = &mut self.ports[i];
+            p.last_tx = now;
+            p.advertised.0 = p.advertised.0.max(be);
+            p.advertised.1 = p.advertised.1.max(commit);
+        }
         self.counters.forwarded += 1;
         ctx.send(next, pkt);
     }
 
     fn emit_beacons(&mut self, ctx: &mut Ctx<'_>, be: Timestamp, commit: Timestamp) {
-        let outs: Vec<NodeId> = ctx.out_neighbors().to_vec();
-        for out in outs {
+        for &out in ctx.out_neighbors() {
             self.counters.beacons_tx += 1;
             ctx.send(out, SimPacket::new(Self::beacon_dgram(be, commit)));
         }
@@ -285,27 +298,24 @@ impl SwitchLogic {
     /// covered for free by rewritten data packets, which also update the
     /// per-link advertisement.
     fn relay_if_advanced(&mut self, ctx: &mut Ctx<'_>) {
-        let be = self.agg.out_be(ctx.now());
-        let commit = self.agg.out_commit(ctx.now());
         let now = ctx.now();
+        let be = self.agg.out_be(now);
+        let commit = self.agg.out_commit(now);
         let min_gap = self.cfg.beacon_interval / 16;
-        let outs: Vec<NodeId> = ctx.out_neighbors().to_vec();
-        for out in outs {
-            let adv =
-                self.advertised.get(&out).copied().unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+        for i in 0..self.ports.len() {
+            let p = &mut self.ports[i];
+            let adv = p.advertised;
             if be <= adv.0 && commit <= adv.1 {
                 continue;
             }
-            let last = self.last_beacon_tx.get(&out).copied();
-            if let Some(last) = last {
-                if now.saturating_sub(last) < min_gap {
-                    continue; // periodic backstop will carry it
-                }
+            if p.last_beacon_tx != NEVER_TX && now.saturating_sub(p.last_beacon_tx) < min_gap {
+                continue; // periodic backstop will carry it
             }
-            self.advertised.insert(out, (adv.0.max(be), adv.1.max(commit)));
-            self.last_beacon_tx.insert(out, now);
+            p.advertised = (adv.0.max(be), adv.1.max(commit));
+            p.last_beacon_tx = now;
+            let to = p.to;
             self.counters.beacons_tx += 1;
-            ctx.send(out, SimPacket::new(Self::beacon_dgram(be, commit)));
+            ctx.send(to, SimPacket::new(Self::beacon_dgram(be, commit)));
         }
     }
 
@@ -335,6 +345,16 @@ impl NodeLogic for SwitchLogic {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         if !self.started {
             self.agg = BarrierAggregator::new(ctx.in_neighbors().to_vec());
+            self.ports = ctx
+                .out_neighbors()
+                .iter()
+                .map(|&to| OutPort {
+                    to,
+                    last_tx: 0,
+                    last_beacon_tx: NEVER_TX,
+                    advertised: (Timestamp::ZERO, Timestamp::ZERO),
+                })
+                .collect();
             self.started = true;
         }
         self.arm_beacon_timer(ctx);
@@ -421,14 +441,11 @@ impl NodeLogic for SwitchLogic {
                 match self.cfg.incarnation {
                     Incarnation::Chip => {
                         // Beacons only on links idle for a full interval.
-                        let outs: Vec<NodeId> = ctx.out_neighbors().to_vec();
-                        for out in outs {
-                            let idle = now
-                                .saturating_sub(self.last_tx.get(&out).copied().unwrap_or(0))
-                                >= self.cfg.beacon_interval;
-                            if idle {
+                        for i in 0..self.ports.len() {
+                            let p = self.ports[i];
+                            if now.saturating_sub(p.last_tx) >= self.cfg.beacon_interval {
                                 self.counters.beacons_tx += 1;
-                                ctx.send(out, SimPacket::new(Self::beacon_dgram(be, commit)));
+                                ctx.send(p.to, SimPacket::new(Self::beacon_dgram(be, commit)));
                             }
                         }
                     }

@@ -39,6 +39,30 @@ fn same_seed_and_schedule_reproduce_identically() {
     assert_eq!(a.violation.is_some(), b.violation.is_some());
 }
 
+/// Engine-determinism regression: replaying a recorded chaos seed must
+/// reproduce the byte-identical delivery log the old engine produced.
+/// The golden file was recorded before the calendar-queue scheduler swap;
+/// regenerate deliberately with `BLESS_CHAOS_REPLAY=1 cargo test`.
+#[test]
+fn chaos_replay_matches_recorded_delivery_log() {
+    let cfg = CampaignConfig::testbed();
+    let schedule =
+        FaultSchedule::generate(3, cfg.warmup, cfg.fault_window, &cfg.cluster.topo, &cfg.budget);
+    let out = run_with_schedule(&cfg, 3, &schedule);
+    assert!(out.deliveries > 0, "replay seed must actually deliver traffic");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/chaos/replay_seed3.log");
+    if std::env::var_os("BLESS_CHAOS_REPLAY").is_some() {
+        std::fs::write(path, &out.delivery_log).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("recorded golden log missing; regenerate with BLESS_CHAOS_REPLAY=1");
+    assert_eq!(
+        out.delivery_log, golden,
+        "delivery log diverged from the recorded replay — engine determinism broke"
+    );
+}
+
 #[test]
 fn explicit_host_crash_schedule_stays_atomic() {
     let cfg = CampaignConfig::testbed();
