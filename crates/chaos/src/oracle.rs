@@ -169,6 +169,23 @@ impl Oracle {
         );
     }
 
+    /// Feed one delivery observed outside the sim harness (e.g. on the
+    /// UDP loopback cluster) — the same check path [`ChaosHook`] drives.
+    pub fn observe_delivery(
+        &mut self,
+        at: u64,
+        receiver: ProcessId,
+        msg: &onepipe_types::message::Delivered,
+        reliable: bool,
+    ) {
+        ChaosHook::on_delivery(self, &DeliveryRecord { at, receiver, msg: msg.clone(), reliable });
+    }
+
+    /// Feed one user event observed outside the sim harness.
+    pub fn observe_event(&mut self, at: u64, proc: ProcessId, ev: &UserEvent) {
+        ChaosHook::on_user_event(self, at, proc, ev);
+    }
+
     /// True while no invariant has been violated.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()

@@ -10,7 +10,10 @@
 //! * [`protocol`] — the failure-recovery state machine that executes the
 //!   paper's Detect → Determine → Broadcast → Discard/Recall → Callback →
 //!   Resume sequence (Figure 7), plus the message-forwarding fallback and
-//!   receiver-recovery records.
+//!   receiver-recovery records;
+//! * [`wire`] — the management-plane framing ([`MgmtFrame`]) that carries
+//!   events, actions, and forwarded datagrams over a real transport (the
+//!   UDP backend's control plane).
 //!
 //! Both are sans-io: they consume messages/ticks and emit actions, which a
 //! harness (the simulator, or a real management network) delivers.
@@ -20,9 +23,11 @@
 pub mod protocol;
 pub mod raft;
 pub mod replicated;
+pub mod wire;
 
 pub use protocol::{
     ComponentId, ControllerCore, CtrlAction, CtrlEvent, FailureDomains, PendingFailure,
 };
 pub use raft::{RaftConfig, RaftMsg, RaftNode, RaftRole};
 pub use replicated::ReplicatedController;
+pub use wire::MgmtFrame;

@@ -1,0 +1,223 @@
+//! Management-plane framing: what controller traffic looks like on a real
+//! transport.
+//!
+//! The simulator harness hands [`CtrlEvent`]s and [`CtrlAction`]s around
+//! as in-memory values; a real deployment must put them on the wire. A
+//! [`MgmtFrame`] is the payload of an `Opcode::Mgmt` datagram travelling
+//! over the management network between hosts, switches, and the
+//! controller leader:
+//!
+//! * **Event** — switch dead-link reports and host `CtrlRequest`s going
+//!   *to* the controller (the same [`CtrlEvent`]s that enter the
+//!   replicated log, reusing its codec);
+//! * **Action** — Announce / Resume / RecoveryInfo decisions going *from*
+//!   the controller to hosts and switches;
+//! * **Forward** — a full 1Pipe datagram relayed through the controller
+//!   when the direct path is dead (§5.2's forwarding fallback), carried
+//!   opaquely.
+
+use crate::protocol::{CtrlAction, CtrlEvent};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use onepipe_types::ids::{NodeId, ProcessId};
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::Datagram;
+
+/// One management-plane message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MgmtFrame {
+    /// Toward the controller: a report or request entering its log.
+    Event(CtrlEvent),
+    /// From the controller: a decision for a host or switch to carry out.
+    Action(CtrlAction),
+    /// A datagram relayed through the controller (forwarding fallback).
+    Forward(Datagram),
+}
+
+impl MgmtFrame {
+    /// Serialize for an `Opcode::Mgmt` datagram payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            MgmtFrame::Event(ev) => {
+                b.put_u8(0);
+                b.extend_from_slice(&ev.encode());
+            }
+            MgmtFrame::Action(a) => {
+                b.put_u8(1);
+                encode_action(a, &mut b);
+            }
+            MgmtFrame::Forward(d) => {
+                b.put_u8(2);
+                b.extend_from_slice(&d.encode());
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode a frame produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: Bytes) -> onepipe_types::Result<Self> {
+        use onepipe_types::Error;
+        if buf.remaining() < 1 {
+            return Err(Error::Truncated { needed: 1, got: 0 });
+        }
+        let tag = buf.get_u8();
+        Ok(match tag {
+            0 => MgmtFrame::Event(CtrlEvent::decode(buf)?),
+            1 => MgmtFrame::Action(decode_action(buf)?),
+            2 => MgmtFrame::Forward(Datagram::decode(buf)?),
+            other => return Err(Error::BadOpcode(other)),
+        })
+    }
+}
+
+fn encode_action(a: &CtrlAction, b: &mut BytesMut) {
+    match a {
+        CtrlAction::Announce { id, to, failures } => {
+            b.put_u8(0);
+            b.put_u64(*id);
+            b.put_u32(to.0);
+            b.put_u32(failures.len() as u32);
+            for (p, ts) in failures {
+                b.put_u32(p.0);
+                b.put_uint(ts.raw(), 6);
+            }
+        }
+        CtrlAction::Resume { at, input } => {
+            b.put_u8(1);
+            b.put_u32(at.0);
+            b.put_u32(input.0);
+        }
+        CtrlAction::RecoveryInfo { to, failures, recalls } => {
+            b.put_u8(2);
+            b.put_u32(to.0);
+            b.put_u32(failures.len() as u32);
+            for (p, ts) in failures {
+                b.put_u32(p.0);
+                b.put_uint(ts.raw(), 6);
+            }
+            b.put_u32(recalls.len() as u32);
+            for (p, ts, seq) in recalls {
+                b.put_u32(p.0);
+                b.put_uint(ts.raw(), 6);
+                b.put_u64(*seq);
+            }
+        }
+    }
+}
+
+fn decode_action(mut buf: Bytes) -> onepipe_types::Result<CtrlAction> {
+    use onepipe_types::Error;
+    let need = |buf: &Bytes, n: usize| -> onepipe_types::Result<()> {
+        if buf.remaining() < n {
+            Err(Error::Truncated { needed: n, got: buf.remaining() })
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        0 => {
+            need(&buf, 8 + 4 + 4)?;
+            let id = buf.get_u64();
+            let to = ProcessId(buf.get_u32());
+            let n = buf.get_u32() as usize;
+            need(&buf, n * (4 + 6))?;
+            let mut failures = Vec::with_capacity(n);
+            for _ in 0..n {
+                failures.push((ProcessId(buf.get_u32()), Timestamp::from_raw(buf.get_uint(6))));
+            }
+            CtrlAction::Announce { id, to, failures }
+        }
+        1 => {
+            need(&buf, 4 + 4)?;
+            CtrlAction::Resume { at: NodeId(buf.get_u32()), input: NodeId(buf.get_u32()) }
+        }
+        2 => {
+            need(&buf, 4 + 4)?;
+            let to = ProcessId(buf.get_u32());
+            let n = buf.get_u32() as usize;
+            need(&buf, n * (4 + 6))?;
+            let mut failures = Vec::with_capacity(n);
+            for _ in 0..n {
+                failures.push((ProcessId(buf.get_u32()), Timestamp::from_raw(buf.get_uint(6))));
+            }
+            need(&buf, 4)?;
+            let m = buf.get_u32() as usize;
+            need(&buf, m * (4 + 6 + 8))?;
+            let mut recalls = Vec::with_capacity(m);
+            for _ in 0..m {
+                recalls.push((
+                    ProcessId(buf.get_u32()),
+                    Timestamp::from_raw(buf.get_uint(6)),
+                    buf.get_u64(),
+                ));
+            }
+            CtrlAction::RecoveryInfo { to, failures, recalls }
+        }
+        other => return Err(Error::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepipe_types::wire::{Flags, Opcode, PacketHeader};
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::from_nanos(v)
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let frames = vec![
+            MgmtFrame::Event(CtrlEvent::Detect {
+                reporter: NodeId(4),
+                dead: NodeId(1),
+                last_commit: ts(12_345),
+                at: 678,
+            }),
+            MgmtFrame::Event(CtrlEvent::CallbackComplete { announce_id: 2, from: ProcessId(1) }),
+            MgmtFrame::Action(CtrlAction::Announce {
+                id: 7,
+                to: ProcessId(3),
+                failures: vec![(ProcessId(2), ts(99)), (ProcessId(5), ts(100))],
+            }),
+            MgmtFrame::Action(CtrlAction::Resume { at: NodeId(0), input: NodeId(2) }),
+            MgmtFrame::Action(CtrlAction::RecoveryInfo {
+                to: ProcessId(1),
+                failures: vec![(ProcessId(2), ts(50))],
+                recalls: vec![(ProcessId(0), ts(49), 3)],
+            }),
+            MgmtFrame::Forward(Datagram {
+                src: ProcessId(0),
+                dst: ProcessId(1),
+                header: PacketHeader {
+                    msg_ts: ts(1),
+                    barrier: ts(2),
+                    commit_barrier: ts(3),
+                    psn: 4,
+                    opcode: Opcode::DataReliable,
+                    flags: Flags::END_OF_MESSAGE,
+                },
+                payload: Bytes::from_static(b"relayed"),
+            }),
+        ];
+        for f in frames {
+            let decoded = MgmtFrame::decode(f.encode()).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn frame_codec_rejects_garbage() {
+        assert!(MgmtFrame::decode(Bytes::new()).is_err());
+        assert!(MgmtFrame::decode(Bytes::from_static(&[7])).is_err());
+        assert!(MgmtFrame::decode(Bytes::from_static(&[1, 9, 0])).is_err());
+        // Action with a length prefix pointing past the buffer.
+        assert!(MgmtFrame::decode(Bytes::from_static(&[
+            1, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 3, 0, 0, 0, 255
+        ]))
+        .is_err());
+    }
+}

@@ -479,7 +479,7 @@ impl Endpoint {
             Opcode::Nak => self.on_nak(d),
             Opcode::Recall => self.on_recall(d),
             Opcode::RecallAck => self.on_recall_ack(d),
-            Opcode::Commit | Opcode::Control => { /* not endpoint-addressed */ }
+            Opcode::Commit | Opcode::Control | Opcode::Mgmt => { /* not endpoint-addressed */ }
         }
     }
 

@@ -17,11 +17,15 @@
 //!   beacons ──on_barrier─────────────────▶ └──────────┘ ──poll_event─────▶ app
 //! ```
 //!
-//! Two adapters drive it in this workspace: [`simhost`] plugs endpoints
-//! into the deterministic network simulator, and `onepipe-udp` runs them
-//! over real UDP sockets. [`harness`] assembles a complete simulated
-//! cluster — topology, switches, endpoints, controller — and is what the
-//! experiments and examples build on.
+//! One layer up, [`runtime`] packages everything a 1Pipe *host* does —
+//! endpoint pumping, app-hook dispatch, beacon emission with its
+//! flush-before-beacon invariant, ctrl-request routing — behind the tiny
+//! [`runtime::Wire`] transport trait. Two adapters drive it: [`simhost`]
+//! plugs hosts into the deterministic network simulator, and
+//! `onepipe-udp` runs the same runtime over real UDP sockets. [`harness`]
+//! assembles a complete simulated cluster — topology, switches,
+//! endpoints, controller — and is what the experiments and examples
+//! build on.
 
 #![warn(missing_docs)]
 
@@ -32,9 +36,11 @@ pub mod events;
 pub mod frag;
 pub mod harness;
 pub mod reorder;
+pub mod runtime;
 pub mod simhost;
 
 pub use config::{DeliveryMode, EndpointConfig};
 pub use endpoint::Endpoint;
 pub use events::UserEvent;
 pub use harness::{Cluster, ClusterConfig};
+pub use runtime::{AppHook, HostRuntime, SendQueue, Wire};

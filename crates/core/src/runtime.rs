@@ -1,0 +1,470 @@
+//! Transport-agnostic host runtime: the one place the host-side pump of
+//! 1Pipe is implemented.
+//!
+//! A [`HostRuntime`] owns everything a 1Pipe host does between the wire
+//! and the application, independent of what the wire actually is:
+//!
+//! * the endpoints of every process placed on the host,
+//! * the host's synchronized clock (§4.1 timestamping),
+//! * application-hook dispatch and [`SendQueue`] application,
+//! * beacon emission (§4.2 — hosts beacon their first-hop switch when
+//!   idle) with the flush-before-beacon ordering invariant,
+//! * routing of endpoint [`CtrlRequest`]s toward the controller.
+//!
+//! Transports adapt it through the tiny [`Wire`] trait: the deterministic
+//! simulator ([`simhost::HostLogic`]) implements it over simulator packet
+//! sends, the UDP transport (`onepipe-udp`) over a real socket. Both
+//! drivers reduce to glue — receive a datagram → [`HostRuntime::on_datagram`],
+//! timer/poll tick → [`HostRuntime::on_tick`] — so the pump semantics
+//! (drain order, callback completion, the beacon invariant) exist exactly
+//! once.
+//!
+//! [`simhost::HostLogic`]: crate::simhost::HostLogic
+
+use crate::endpoint::{Endpoint, HOP_LOCAL};
+use crate::events::{CtrlRequest, UserEvent};
+use bytes::Bytes;
+use onepipe_clock::MonotonicClock;
+use onepipe_types::ids::{HostId, ProcessId};
+use onepipe_types::message::{Delivered, Message};
+use onepipe_types::time::{Duration, Timestamp};
+use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What the runtime needs from a transport: a datagram sink toward the
+/// first-hop switch and a reading of true (transport) time.
+///
+/// `emit` receives host-originated packets with `src == HOP_LOCAL`
+/// (beacons, commit messages); transports whose switch identifies input
+/// links by packet source (the UDP soft switch) rewrite that sentinel to
+/// the local process id on the way out.
+pub trait Wire {
+    /// True time now, in nanoseconds of the transport's epoch.
+    fn now(&self) -> u64;
+    /// Transmit a datagram toward the first-hop switch.
+    fn emit(&mut self, d: Datagram);
+}
+
+/// One delivered message, recorded with the true (transport) time.
+#[derive(Clone, Debug)]
+pub struct DeliveryRecord {
+    /// True time of delivery to the application.
+    pub at: u64,
+    /// The receiving process.
+    pub receiver: ProcessId,
+    /// The delivered message.
+    pub msg: Delivered,
+    /// Whether it arrived on the reliable channel.
+    pub reliable: bool,
+}
+
+/// Sends queued by an application hook, to be issued by the host.
+#[derive(Default)]
+pub struct SendQueue {
+    /// `(sender process, messages, reliable)` triples.
+    pub sends: Vec<(ProcessId, Vec<Message>, bool)>,
+    /// Raw (unordered) messages: `(from, to, payload)`.
+    pub raw: Vec<(ProcessId, ProcessId, Bytes)>,
+}
+
+impl SendQueue {
+    /// Queue a scattering from `from`.
+    pub fn push(&mut self, from: ProcessId, msgs: Vec<Message>, reliable: bool) {
+        self.sends.push((from, msgs, reliable));
+    }
+
+    /// Queue a unicast message.
+    pub fn unicast(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: impl Into<Bytes>,
+        reliable: bool,
+    ) {
+        self.push(from, vec![Message::new(to, payload)], reliable);
+    }
+
+    /// Queue a raw (unordered, outside-1Pipe) message — the plain-RDMA RPC
+    /// path applications use for responses.
+    pub fn push_raw(&mut self, from: ProcessId, to: ProcessId, payload: impl Into<Bytes>) {
+        self.raw.push((from, to, payload.into()));
+    }
+}
+
+/// Host-side application logic, shared across hosts via `Rc<RefCell>`.
+pub trait AppHook {
+    /// A message was delivered to `receiver`. Queue any reactions in `out`.
+    fn on_delivery(
+        &mut self,
+        now: u64,
+        receiver: ProcessId,
+        msg: &Delivered,
+        reliable: bool,
+        out: &mut SendQueue,
+    );
+
+    /// A user event (send failure, recall, process-failure callback)
+    /// surfaced on `proc`. Return `true` for `ProcessFailed` events once
+    /// the application's callback work is done (the default), `false` to
+    /// defer completion (then call `complete_failure_callback` later).
+    fn on_user_event(
+        &mut self,
+        _now: u64,
+        _proc: ProcessId,
+        _ev: &UserEvent,
+        _out: &mut SendQueue,
+    ) -> bool {
+        true
+    }
+
+    /// A raw (outside-1Pipe) message arrived for `receiver`.
+    fn on_raw(
+        &mut self,
+        _now: u64,
+        _receiver: ProcessId,
+        _src: ProcessId,
+        _payload: &Bytes,
+        _out: &mut SendQueue,
+    ) {
+    }
+
+    /// Called once per poll tick per host, for time-driven workloads.
+    fn on_tick(&mut self, _now: u64, _host: HostId, _procs: &[ProcessId], _out: &mut SendQueue) {}
+}
+
+/// The transport-agnostic host runtime: endpoints + clock + pump.
+pub struct HostRuntime {
+    /// Which host this is.
+    pub host: HostId,
+    clock: MonotonicClock,
+    /// The endpoints of the processes on this host.
+    pub endpoints: Vec<Endpoint>,
+    /// Cached process ids (the endpoint set is fixed after construction);
+    /// handed to [`AppHook::on_tick`] without a per-tick allocation.
+    proc_ids: Vec<ProcessId>,
+    app: Option<Rc<RefCell<dyn AppHook>>>,
+    beacon_interval: Duration,
+    /// Beacon at globally synchronized slots (§4.2) or at a per-host
+    /// random phase (the paper's ablation: random phases make a switch
+    /// wait for the *last* host's beacon, adding ~a full interval).
+    pub synchronized_beacons: bool,
+    /// Shared record of all deliveries (for experiments and oracles).
+    pub deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
+    /// Controller requests raised by endpoints, drained by the driver and
+    /// routed over the management network.
+    pub ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
+    /// User events kept for driver/harness inspection (send failures etc.).
+    pub user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+}
+
+impl HostRuntime {
+    /// Create the runtime for `host`.
+    pub fn new(
+        host: HostId,
+        clock: MonotonicClock,
+        endpoints: Vec<Endpoint>,
+        beacon_interval: Duration,
+        deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
+        ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
+        user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+    ) -> Self {
+        let proc_ids = endpoints.iter().map(|e| e.id()).collect();
+        HostRuntime {
+            host,
+            clock,
+            endpoints,
+            proc_ids,
+            app: None,
+            beacon_interval,
+            synchronized_beacons: true,
+            deliveries,
+            ctrl_outbox,
+            user_events,
+        }
+    }
+
+    /// Attach the shared application hook.
+    pub fn set_app(&mut self, app: Rc<RefCell<dyn AppHook>>) {
+        self.app = Some(app);
+    }
+
+    /// Inject a clock-skew spike of `offset_ns` at true time `true_now`
+    /// (chaos testing). Negative spikes are absorbed by the monotonic slew.
+    pub fn perturb_clock(&mut self, true_now: u64, offset_ns: f64) {
+        self.clock.perturb(true_now, offset_ns);
+    }
+
+    /// The host's synchronized-clock reading at true time `now`.
+    pub fn local_time(&mut self, now: u64) -> Timestamp {
+        self.clock.now(now)
+    }
+
+    /// The endpoint of process `p`, if it lives here.
+    pub fn endpoint_mut(&mut self, p: ProcessId) -> Option<&mut Endpoint> {
+        self.endpoints.iter_mut().find(|e| e.id() == p)
+    }
+
+    /// Local process ids.
+    pub fn process_ids(&self) -> &[ProcessId] {
+        &self.proc_ids
+    }
+
+    /// Issue a scattering from a local process right now, returning the
+    /// assigned timestamp and the scattering sequence number — chaos
+    /// oracles join delivery records to registered sends by
+    /// `(sender, seq)`.
+    pub fn submit_send(
+        &mut self,
+        wire: &mut impl Wire,
+        from: ProcessId,
+        msgs: Vec<Message>,
+        reliable: bool,
+    ) -> onepipe_types::Result<(Timestamp, u64)> {
+        let local = self.clock.now(wire.now());
+        let ep = self.endpoint_mut(from).ok_or(onepipe_types::Error::UnknownProcess(from))?;
+        let sid = if reliable {
+            ep.send_reliable(local, msgs)?
+        } else {
+            ep.send_unreliable(local, msgs)?
+        };
+        // Report the timestamp the scattering was actually assigned — the
+        // endpoint clamps the raw clock reading (monotonicity, commit
+        // barrier, observed deliveries), so `local` may be too low.
+        let ts = ep.last_assigned_ts();
+        self.flush(wire);
+        Ok((ts, sid.seq))
+    }
+
+    /// Send a raw (unordered, outside-1Pipe) message from a local process.
+    pub fn submit_raw(
+        &mut self,
+        wire: &mut impl Wire,
+        from: ProcessId,
+        to: ProcessId,
+        payload: impl Into<Bytes>,
+    ) {
+        if let Some(ep) = self.endpoint_mut(from) {
+            ep.send_raw(to, payload);
+        }
+        self.flush(wire);
+    }
+
+    /// Deliver a controller failure announcement to a local process.
+    pub fn deliver_announcement(
+        &mut self,
+        wire: &mut impl Wire,
+        to: ProcessId,
+        announce_id: u64,
+        failures: &[(ProcessId, Timestamp)],
+    ) {
+        let local = self.clock.now(wire.now());
+        if let Some(ep) = self.endpoint_mut(to) {
+            ep.on_failure_announcement(local, announce_id, failures);
+        }
+        self.flush(wire);
+    }
+
+    /// Deliver a controller-forwarded datagram to a local process.
+    pub fn deliver_forwarded(&mut self, wire: &mut impl Wire, d: Datagram) {
+        let local = self.clock.now(wire.now());
+        if let Some(ep) = self.endpoint_mut(d.dst) {
+            ep.handle_datagram(local, d);
+        }
+        self.flush(wire);
+    }
+
+    /// Process one datagram arriving from the wire, then flush.
+    pub fn on_datagram(&mut self, wire: &mut impl Wire, d: Datagram) {
+        let now = wire.now();
+        let local = self.clock.now(now);
+        match d.header.opcode {
+            Opcode::Beacon => {
+                for ep in &mut self.endpoints {
+                    ep.on_barrier(d.header.barrier, d.header.commit_barrier);
+                }
+            }
+            Opcode::Control => {
+                // Raw application RPC, or background traffic (no app).
+                if let Some(app) = self.app.clone() {
+                    if self.endpoints.iter().any(|e| e.id() == d.dst) {
+                        let mut queue = SendQueue::default();
+                        app.borrow_mut().on_raw(now, d.dst, d.src, &d.payload, &mut queue);
+                        self.apply_queue(local, queue);
+                    }
+                }
+            }
+            _ => {
+                let dst = d.dst;
+                if let Some(ep) = self.endpoint_mut(dst) {
+                    ep.handle_datagram(local, d);
+                }
+            }
+        }
+        self.flush(wire);
+    }
+
+    /// One poll tick: advance endpoint timers, run the application's
+    /// time-driven hook, flush, then beacon. Drivers call this at the
+    /// times [`next_tick_at`](Self::next_tick_at) reports.
+    pub fn on_tick(&mut self, wire: &mut impl Wire) {
+        let now = wire.now();
+        let local = self.clock.now(now);
+        for ep in &mut self.endpoints {
+            ep.poll(local);
+        }
+        // App time-driven workload.
+        if let Some(app) = self.app.clone() {
+            let mut queue = SendQueue::default();
+            app.borrow_mut().on_tick(now, self.host, &self.proc_ids, &mut queue);
+            self.apply_queue(local, queue);
+        }
+        self.flush(wire);
+        self.emit_beacon(wire);
+    }
+
+    /// True time of the next poll/beacon tick after `now`: the next
+    /// beacon-interval slot, phase-shifted per host unless beacons are
+    /// synchronized.
+    pub fn next_tick_at(&self, now: u64) -> u64 {
+        let t = self.beacon_interval;
+        let phase = if self.synchronized_beacons {
+            0
+        } else {
+            // Stable per-host pseudo-random phase.
+            (self.host.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % t
+        };
+        let delay = t - ((now + t - phase) % t);
+        now + delay.max(1)
+    }
+
+    /// Drain endpoint outputs: transmissions, deliveries, events, control
+    /// requests — then run application reactions.
+    pub fn flush(&mut self, wire: &mut impl Wire) {
+        // Loop because application reactions can produce more output.
+        for _round in 0..8 {
+            let mut queue = SendQueue::default();
+            let mut any = false;
+            let now = wire.now();
+            for i in 0..self.endpoints.len() {
+                // Transmissions.
+                while let Some(d) = self.endpoints[i].poll_transmit() {
+                    any = true;
+                    wire.emit(d);
+                }
+                // Deliveries.
+                let receiver = self.endpoints[i].id();
+                while let Some(msg) = self.endpoints[i].recv_unreliable() {
+                    any = true;
+                    self.deliveries.borrow_mut().push(DeliveryRecord {
+                        at: now,
+                        receiver,
+                        msg: msg.clone(),
+                        reliable: false,
+                    });
+                    if let Some(app) = &self.app {
+                        app.borrow_mut().on_delivery(now, receiver, &msg, false, &mut queue);
+                    }
+                }
+                while let Some(msg) = self.endpoints[i].recv_reliable() {
+                    any = true;
+                    self.deliveries.borrow_mut().push(DeliveryRecord {
+                        at: now,
+                        receiver,
+                        msg: msg.clone(),
+                        reliable: true,
+                    });
+                    if let Some(app) = &self.app {
+                        app.borrow_mut().on_delivery(now, receiver, &msg, true, &mut queue);
+                    }
+                }
+                // User events.
+                while let Some(ev) = self.endpoints[i].poll_event() {
+                    any = true;
+                    let mut complete = true;
+                    if let Some(app) = &self.app {
+                        complete = app.borrow_mut().on_user_event(now, receiver, &ev, &mut queue);
+                    }
+                    if complete {
+                        if let UserEvent::ProcessFailed { announce_id, .. } = &ev {
+                            self.endpoints[i].complete_failure_callback(*announce_id);
+                        }
+                    }
+                    self.user_events.borrow_mut().push((now, receiver, ev));
+                }
+                // Controller requests.
+                while let Some(req) = self.endpoints[i].poll_ctrl() {
+                    any = true;
+                    self.ctrl_outbox.borrow_mut().push((receiver, req));
+                }
+            }
+            // Application-queued sends.
+            let local = self.clock.now(now);
+            any |= self.apply_queue(local, queue);
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Apply a [`SendQueue`] to the local endpoints; `true` if anything
+    /// was issued.
+    fn apply_queue(&mut self, local: Timestamp, queue: SendQueue) -> bool {
+        let mut any = false;
+        for (from, msgs, reliable) in queue.sends {
+            if let Some(ep) = self.endpoint_mut(from) {
+                any = true;
+                let _ = if reliable {
+                    ep.send_reliable(local, msgs)
+                } else {
+                    ep.send_unreliable(local, msgs)
+                };
+            }
+        }
+        for (from, to, payload) in queue.raw {
+            if let Some(ep) = self.endpoint_mut(from) {
+                any = true;
+                ep.send_raw(to, payload);
+            }
+        }
+        any
+    }
+
+    /// Emit the host beacon. Callers must [`flush`](Self::flush) first
+    /// (as [`on_tick`](Self::on_tick) does): the beacon advertises the
+    /// clock as a lower bound on *future* message timestamps, so it must
+    /// never overtake already-stamped packets still queued in an
+    /// endpoint's output — FIFO on the host→switch link, §4.1.
+    ///
+    /// Hosts beacon every interval unconditionally: a data packet sent
+    /// moments ago carried barrier = its own msg_ts, which is *not*
+    /// strictly above it — delivery of that very message still needs a
+    /// later barrier from this host. The bandwidth cost is the 0.3 % of
+    /// Figure 13b.
+    fn emit_beacon(&mut self, wire: &mut impl Wire) {
+        let local = self.clock.now(wire.now());
+        // The host's contribution: its (shared) clock for the best-effort
+        // barrier, and the min over local processes for the commit barrier.
+        // (A u64::MAX-style sentinel would be wrong here: 48-bit ring
+        // comparison has no global maximum.)
+        let mut be = local;
+        let mut commit = local;
+        for ep in &mut self.endpoints {
+            be = be.min(ep.be_contribution(local));
+            commit = commit.min(ep.commit_contribution(local));
+        }
+        wire.emit(Datagram {
+            src: HOP_LOCAL,
+            dst: HOP_LOCAL,
+            header: PacketHeader {
+                msg_ts: Timestamp::ZERO,
+                barrier: be,
+                commit_barrier: commit,
+                psn: 0,
+                opcode: Opcode::Beacon,
+                flags: Flags::empty(),
+            },
+            payload: Bytes::new(),
+        });
+    }
+}

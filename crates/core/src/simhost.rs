@@ -1,136 +1,67 @@
-//! Adapter running 1Pipe endpoints inside the network simulator.
+//! Adapter running the transport-agnostic [`HostRuntime`] inside the
+//! network simulator.
 //!
-//! One [`HostLogic`] per server: it owns the host's synchronized clock,
-//! the endpoints of every process placed on the host, the host side of
-//! beacon generation (§4.2 — hosts beacon their ToR when idle), and the
-//! hooks that let applications react to deliveries in-simulation.
+//! One [`HostLogic`] per server: it is nothing but glue between the
+//! simulator's [`NodeLogic`] callbacks and the runtime — packets go to
+//! [`HostRuntime::on_datagram`], the poll timer to
+//! [`HostRuntime::on_tick`], and the runtime's [`Wire`] emissions become
+//! simulator packets toward the ToR. All pump semantics (drain order,
+//! beacon invariant, ctrl routing) live in [`crate::runtime`].
 
-use crate::endpoint::{Endpoint, HOP_LOCAL};
-use crate::events::{CtrlRequest, UserEvent};
-use bytes::Bytes;
+use crate::runtime::{HostRuntime, Wire};
 use onepipe_clock::MonotonicClock;
 use onepipe_netsim::engine::{Ctx, NodeLogic, SimPacket};
 use onepipe_netsim::traffic::BackgroundTraffic;
 use onepipe_types::ids::{HostId, NodeId, ProcessId};
-use onepipe_types::message::{Delivered, Message};
+use onepipe_types::message::Message;
 use onepipe_types::time::{Duration, Timestamp};
-use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
+use onepipe_types::wire::Datagram;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+use crate::events::{CtrlRequest, UserEvent};
+pub use crate::runtime::{AppHook, DeliveryRecord, SendQueue};
 
 /// Timer token for the host's periodic poll/beacon tick.
 pub const TOKEN_POLL: u64 = 3;
 
-/// One delivered message, recorded with the true (simulator) time.
-#[derive(Clone, Debug)]
-pub struct DeliveryRecord {
-    /// True simulation time of delivery to the application.
-    pub at: u64,
-    /// The receiving process.
-    pub receiver: ProcessId,
-    /// The delivered message.
-    pub msg: Delivered,
-    /// Whether it arrived on the reliable channel.
-    pub reliable: bool,
-}
-
-/// Sends queued by an application hook, to be issued by the host.
-#[derive(Default)]
-pub struct SendQueue {
-    /// `(sender process, messages, reliable)` triples.
-    pub sends: Vec<(ProcessId, Vec<Message>, bool)>,
-    /// Raw (unordered) messages: `(from, to, payload)`.
-    pub raw: Vec<(ProcessId, ProcessId, Bytes)>,
-}
-
-impl SendQueue {
-    /// Queue a scattering from `from`.
-    pub fn push(&mut self, from: ProcessId, msgs: Vec<Message>, reliable: bool) {
-        self.sends.push((from, msgs, reliable));
-    }
-
-    /// Queue a unicast message.
-    pub fn unicast(
-        &mut self,
-        from: ProcessId,
-        to: ProcessId,
-        payload: impl Into<Bytes>,
-        reliable: bool,
-    ) {
-        self.push(from, vec![Message::new(to, payload)], reliable);
-    }
-
-    /// Queue a raw (unordered, outside-1Pipe) message — the plain-RDMA RPC
-    /// path applications use for responses.
-    pub fn push_raw(&mut self, from: ProcessId, to: ProcessId, payload: impl Into<Bytes>) {
-        self.raw.push((from, to, payload.into()));
-    }
-}
-
-/// In-simulation application logic, shared across hosts via `Rc<RefCell>`.
-pub trait AppHook {
-    /// A message was delivered to `receiver`. Queue any reactions in `out`.
-    fn on_delivery(
-        &mut self,
-        now: u64,
-        receiver: ProcessId,
-        msg: &Delivered,
-        reliable: bool,
-        out: &mut SendQueue,
-    );
-
-    /// A user event (send failure, recall, process-failure callback)
-    /// surfaced on `proc`. Return `true` for `ProcessFailed` events once
-    /// the application's callback work is done (the default), `false` to
-    /// defer completion (then call `complete_failure_callback` later).
-    fn on_user_event(
-        &mut self,
-        _now: u64,
-        _proc: ProcessId,
-        _ev: &UserEvent,
-        _out: &mut SendQueue,
-    ) -> bool {
-        true
-    }
-
-    /// A raw (outside-1Pipe) message arrived for `receiver`.
-    fn on_raw(
-        &mut self,
-        _now: u64,
-        _receiver: ProcessId,
-        _src: ProcessId,
-        _payload: &Bytes,
-        _out: &mut SendQueue,
-    ) {
-    }
-
-    /// Called once per poll tick per host, for time-driven workloads.
-    fn on_tick(&mut self, _now: u64, _host: HostId, _procs: &[ProcessId], _out: &mut SendQueue) {}
-}
-
-/// The node logic of one simulated server.
-pub struct HostLogic {
-    /// Which host this is.
-    pub host: HostId,
+/// [`Wire`] over a simulator context: datagrams become [`SimPacket`]s on
+/// the host→ToR link.
+struct SimWire<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
     tor: NodeId,
-    clock: MonotonicClock,
-    /// The endpoints of the processes on this host.
-    pub endpoints: Vec<Endpoint>,
-    app: Option<Rc<RefCell<dyn AppHook>>>,
-    beacon_interval: Duration,
-    /// Beacon at globally synchronized slots (§4.2) or at a per-host
-    /// random phase (the paper's ablation: random phases make a switch
-    /// wait for the *last* host's beacon, adding ~a full interval).
-    pub synchronized_beacons: bool,
-    last_be_tx: u64,
-    last_commit_tx: u64,
+}
+
+impl Wire for SimWire<'_, '_> {
+    fn now(&self) -> u64 {
+        self.ctx.now()
+    }
+
+    fn emit(&mut self, d: Datagram) {
+        self.ctx.send(self.tor, SimPacket::new(d));
+    }
+}
+
+/// The node logic of one simulated server: a [`HostRuntime`] plus the
+/// ToR link and optional background traffic.
+pub struct HostLogic {
+    tor: NodeId,
+    /// The transport-agnostic runtime doing the actual work.
+    pub rt: HostRuntime,
     traffic: Option<BackgroundTraffic>,
-    /// Shared record of all deliveries (for experiments).
-    pub deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
-    /// Controller requests raised by endpoints, drained by the harness.
-    pub ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
-    /// User events kept for harness inspection (send failures etc.).
-    pub user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+}
+
+impl std::ops::Deref for HostLogic {
+    type Target = HostRuntime;
+    fn deref(&self) -> &HostRuntime {
+        &self.rt
+    }
+}
+
+impl std::ops::DerefMut for HostLogic {
+    fn deref_mut(&mut self) -> &mut HostRuntime {
+        &mut self.rt
+    }
 }
 
 impl HostLogic {
@@ -140,32 +71,25 @@ impl HostLogic {
         host: HostId,
         tor: NodeId,
         clock: MonotonicClock,
-        endpoints: Vec<Endpoint>,
+        endpoints: Vec<crate::endpoint::Endpoint>,
         beacon_interval: Duration,
         deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
         ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
         user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
     ) -> Self {
         HostLogic {
-            host,
             tor,
-            clock,
-            endpoints,
-            app: None,
-            beacon_interval,
-            synchronized_beacons: true,
-            last_be_tx: 0,
-            last_commit_tx: 0,
+            rt: HostRuntime::new(
+                host,
+                clock,
+                endpoints,
+                beacon_interval,
+                deliveries,
+                ctrl_outbox,
+                user_events,
+            ),
             traffic: None,
-            deliveries,
-            ctrl_outbox,
-            user_events,
         }
-    }
-
-    /// Attach the shared application hook.
-    pub fn set_app(&mut self, app: Rc<RefCell<dyn AppHook>>) {
-        self.app = Some(app);
     }
 
     /// Attach background traffic flows (Figure 12 experiments).
@@ -173,20 +97,8 @@ impl HostLogic {
         self.traffic = Some(traffic);
     }
 
-    /// Inject a clock-skew spike of `offset_ns` at true time `true_now`
-    /// (chaos testing). Negative spikes are absorbed by the monotonic slew.
-    pub fn perturb_clock(&mut self, true_now: u64, offset_ns: f64) {
-        self.clock.perturb(true_now, offset_ns);
-    }
-
-    /// The endpoint of process `p`, if it lives here.
-    pub fn endpoint_mut(&mut self, p: ProcessId) -> Option<&mut Endpoint> {
-        self.endpoints.iter_mut().find(|e| e.id() == p)
-    }
-
-    /// Local process ids.
-    pub fn process_ids(&self) -> Vec<ProcessId> {
-        self.endpoints.iter().map(|e| e.id()).collect()
+    fn wire<'a, 'b>(&self, ctx: &'a mut Ctx<'b>) -> SimWire<'a, 'b> {
+        SimWire { ctx, tor: self.tor }
     }
 
     /// Issue a scattering from a local process right now (harness API).
@@ -211,19 +123,8 @@ impl HostLogic {
         msgs: Vec<Message>,
         reliable: bool,
     ) -> onepipe_types::Result<(Timestamp, u64)> {
-        let local = self.clock.now(ctx.now());
-        let ep = self.endpoint_mut(from).ok_or(onepipe_types::Error::UnknownProcess(from))?;
-        let sid = if reliable {
-            ep.send_reliable(local, msgs)?
-        } else {
-            ep.send_unreliable(local, msgs)?
-        };
-        // Report the timestamp the scattering was actually assigned — the
-        // endpoint clamps the raw clock reading (monotonicity, commit
-        // barrier, observed deliveries), so `local` may be too low.
-        let ts = ep.last_assigned_ts();
-        self.flush(ctx);
-        Ok((ts, sid.seq))
+        let mut wire = self.wire(ctx);
+        self.rt.submit_send(&mut wire, from, msgs, reliable)
     }
 
     /// Deliver a controller failure announcement to a local process.
@@ -234,157 +135,25 @@ impl HostLogic {
         announce_id: u64,
         failures: &[(ProcessId, Timestamp)],
     ) {
-        let local = self.clock.now(ctx.now());
-        if let Some(ep) = self.endpoint_mut(to) {
-            ep.on_failure_announcement(local, announce_id, failures);
-        }
-        self.flush(ctx);
+        let mut wire = self.wire(ctx);
+        self.rt.deliver_announcement(&mut wire, to, announce_id, failures);
     }
 
     /// Deliver a controller-forwarded datagram to a local process.
     pub fn deliver_forwarded(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
-        let local = self.clock.now(ctx.now());
-        if let Some(ep) = self.endpoint_mut(d.dst) {
-            ep.handle_datagram(local, d);
-        }
-        self.flush(ctx);
+        let mut wire = self.wire(ctx);
+        self.rt.deliver_forwarded(&mut wire, d);
     }
 
-    /// Drain endpoint outputs: transmissions, deliveries, events, control
-    /// requests — then run application reactions.
+    /// Drain endpoint outputs through the runtime pump.
     pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
-        // Loop because application reactions can produce more output.
-        for _round in 0..8 {
-            let mut queue = SendQueue::default();
-            let mut any = false;
-            let now = ctx.now();
-            for i in 0..self.endpoints.len() {
-                // Transmissions.
-                while let Some(d) = self.endpoints[i].poll_transmit() {
-                    any = true;
-                    match d.header.opcode {
-                        Opcode::Commit => self.last_commit_tx = now,
-                        Opcode::Data => self.last_be_tx = now,
-                        _ => {}
-                    }
-                    ctx.send(self.tor, SimPacket::new(d));
-                }
-                // Deliveries.
-                let receiver = self.endpoints[i].id();
-                while let Some(msg) = self.endpoints[i].recv_unreliable() {
-                    any = true;
-                    self.deliveries.borrow_mut().push(DeliveryRecord {
-                        at: now,
-                        receiver,
-                        msg: msg.clone(),
-                        reliable: false,
-                    });
-                    if let Some(app) = &self.app {
-                        app.borrow_mut().on_delivery(now, receiver, &msg, false, &mut queue);
-                    }
-                }
-                while let Some(msg) = self.endpoints[i].recv_reliable() {
-                    any = true;
-                    self.deliveries.borrow_mut().push(DeliveryRecord {
-                        at: now,
-                        receiver,
-                        msg: msg.clone(),
-                        reliable: true,
-                    });
-                    if let Some(app) = &self.app {
-                        app.borrow_mut().on_delivery(now, receiver, &msg, true, &mut queue);
-                    }
-                }
-                // User events.
-                while let Some(ev) = self.endpoints[i].poll_event() {
-                    any = true;
-                    let mut complete = true;
-                    if let Some(app) = &self.app {
-                        complete = app.borrow_mut().on_user_event(now, receiver, &ev, &mut queue);
-                    }
-                    if complete {
-                        if let UserEvent::ProcessFailed { announce_id, .. } = &ev {
-                            self.endpoints[i].complete_failure_callback(*announce_id);
-                        }
-                    }
-                    self.user_events.borrow_mut().push((now, receiver, ev));
-                }
-                // Controller requests.
-                while let Some(req) = self.endpoints[i].poll_ctrl() {
-                    any = true;
-                    self.ctrl_outbox.borrow_mut().push((receiver, req));
-                }
-            }
-            // Application-queued sends.
-            let local = self.clock.now(now);
-            for (from, msgs, reliable) in queue.sends {
-                if let Some(ep) = self.endpoint_mut(from) {
-                    any = true;
-                    let _ = if reliable {
-                        ep.send_reliable(local, msgs)
-                    } else {
-                        ep.send_unreliable(local, msgs)
-                    };
-                }
-            }
-            for (from, to, payload) in queue.raw {
-                if let Some(ep) = self.endpoint_mut(from) {
-                    any = true;
-                    ep.send_raw(to, payload);
-                }
-            }
-            if !any {
-                break;
-            }
-        }
+        let mut wire = self.wire(ctx);
+        self.rt.flush(&mut wire);
     }
 
     fn arm_poll(&self, ctx: &mut Ctx<'_>) {
-        let t = self.beacon_interval;
-        let phase = if self.synchronized_beacons {
-            0
-        } else {
-            // Stable per-host pseudo-random phase.
-            (self.host.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % t
-        };
-        let delay = t - ((ctx.now() + t - phase) % t);
-        ctx.set_timer(delay.max(1), TOKEN_POLL);
-    }
-
-    fn maybe_beacon(&mut self, ctx: &mut Ctx<'_>) {
-        // Hosts beacon every interval unconditionally: a data packet sent
-        // moments ago carried barrier = its own msg_ts, which is *not*
-        // strictly above it — delivery of that very message still needs a
-        // later barrier from this host. The bandwidth cost is the 0.3 %
-        // of Figure 13b.
         let now = ctx.now();
-        let local = self.clock.now(now);
-        // The host's contribution: its (shared) clock for the best-effort
-        // barrier, and the min over local processes for the commit barrier.
-        // (A u64::MAX-style sentinel would be wrong here: 48-bit ring
-        // comparison has no global maximum.)
-        let mut be = local;
-        let mut commit = local;
-        for ep in &mut self.endpoints {
-            be = be.min(ep.be_contribution(local));
-            commit = commit.min(ep.commit_contribution(local));
-        }
-        let beacon = Datagram {
-            src: HOP_LOCAL,
-            dst: HOP_LOCAL,
-            header: PacketHeader {
-                msg_ts: Timestamp::ZERO,
-                barrier: be,
-                commit_barrier: commit,
-                psn: 0,
-                opcode: Opcode::Beacon,
-                flags: Flags::empty(),
-            },
-            payload: Bytes::new(),
-        };
-        ctx.send(self.tor, SimPacket::new(beacon));
-        self.last_be_tx = now;
-        self.last_commit_tx = now;
+        ctx.set_timer(self.rt.next_tick_at(now) - now, TOKEN_POLL);
     }
 }
 
@@ -397,51 +166,8 @@ impl NodeLogic for HostLogic {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
-        let now = ctx.now();
-        let local = self.clock.now(now);
-        match pkt.dgram.header.opcode {
-            Opcode::Beacon => {
-                for ep in &mut self.endpoints {
-                    ep.on_barrier(pkt.dgram.header.barrier, pkt.dgram.header.commit_barrier);
-                }
-            }
-            Opcode::Control => {
-                // Raw application RPC, or background traffic (no app).
-                if let Some(app) = self.app.clone() {
-                    if self.endpoints.iter().any(|e| e.id() == pkt.dgram.dst) {
-                        let mut queue = SendQueue::default();
-                        app.borrow_mut().on_raw(
-                            now,
-                            pkt.dgram.dst,
-                            pkt.dgram.src,
-                            &pkt.dgram.payload,
-                            &mut queue,
-                        );
-                        for (from, msgs, reliable) in queue.sends {
-                            if let Some(ep) = self.endpoint_mut(from) {
-                                let _ = if reliable {
-                                    ep.send_reliable(local, msgs)
-                                } else {
-                                    ep.send_unreliable(local, msgs)
-                                };
-                            }
-                        }
-                        for (from, to, payload) in queue.raw {
-                            if let Some(ep) = self.endpoint_mut(from) {
-                                ep.send_raw(to, payload);
-                            }
-                        }
-                    }
-                }
-            }
-            _ => {
-                let dst = pkt.dgram.dst;
-                if let Some(ep) = self.endpoint_mut(dst) {
-                    ep.handle_datagram(local, pkt.dgram);
-                }
-            }
-        }
-        self.flush(ctx);
+        let mut wire = SimWire { ctx, tor: self.tor };
+        self.rt.on_datagram(&mut wire, pkt.dgram);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -452,33 +178,8 @@ impl NodeLogic for HostLogic {
             return;
         }
         if token == TOKEN_POLL {
-            let now = ctx.now();
-            let local = self.clock.now(now);
-            for ep in &mut self.endpoints {
-                ep.poll(local);
-            }
-            // App time-driven workload.
-            if let Some(app) = self.app.clone() {
-                let mut queue = SendQueue::default();
-                let procs = self.process_ids();
-                app.borrow_mut().on_tick(now, self.host, &procs, &mut queue);
-                for (from, msgs, reliable) in queue.sends {
-                    if let Some(ep) = self.endpoint_mut(from) {
-                        let _ = if reliable {
-                            ep.send_reliable(local, msgs)
-                        } else {
-                            ep.send_unreliable(local, msgs)
-                        };
-                    }
-                }
-                for (from, to, payload) in queue.raw {
-                    if let Some(ep) = self.endpoint_mut(from) {
-                        ep.send_raw(to, payload);
-                    }
-                }
-            }
-            self.flush(ctx);
-            self.maybe_beacon(ctx);
+            let mut wire = SimWire { ctx, tor: self.tor };
+            self.rt.on_tick(&mut wire);
             self.arm_poll(ctx);
         }
     }
@@ -492,11 +193,13 @@ impl NodeLogic for HostLogic {
 mod tests {
     use super::*;
     use crate::config::EndpointConfig;
+    use crate::endpoint::{Endpoint, HOP_LOCAL};
+    use bytes::Bytes;
     use onepipe_clock::MonotonicClock;
     use onepipe_netsim::engine::Sim;
     use onepipe_netsim::link::LinkParams;
     use onepipe_types::time::MICROS;
-    use onepipe_types::wire::Opcode;
+    use onepipe_types::wire::{Flags, Opcode, PacketHeader};
 
     /// Records everything a "switch" node receives from the host.
     struct SwitchProbe {

@@ -416,8 +416,9 @@ impl NodeLogic for SwitchLogic {
                     self.forward(ctx, pkt);
                 }
             }
-            Opcode::Control => {
-                // Non-1Pipe traffic: plain forwarding, no bookkeeping.
+            Opcode::Control | Opcode::Mgmt => {
+                // Non-1Pipe traffic (raw RPC, management plane): plain
+                // forwarding, no bookkeeping.
                 self.forward(ctx, pkt);
             }
         }

@@ -44,6 +44,10 @@ pub enum Opcode {
     RecallAck = 7,
     /// Controller-plane message; the payload carries the protocol body.
     Control = 8,
+    /// Management-plane frame (controller ↔ host/switch): dead-link
+    /// reports, failure announcements, resume orders, forwarded data.
+    /// Never enters barrier aggregation or the total order.
+    Mgmt = 9,
 }
 
 impl Opcode {
@@ -59,6 +63,7 @@ impl Opcode {
             6 => Opcode::Recall,
             7 => Opcode::RecallAck,
             8 => Opcode::Control,
+            9 => Opcode::Mgmt,
             _ => return None,
         })
     }
@@ -324,11 +329,11 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip_all() {
-        for v in 0u8..=8 {
+        for v in 0u8..=9 {
             let op = Opcode::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }
-        assert!(Opcode::from_u8(9).is_none());
+        assert!(Opcode::from_u8(10).is_none());
     }
 
     #[test]

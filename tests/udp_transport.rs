@@ -1,0 +1,168 @@
+//! Cross-transport conformance: the same reliable scatter workload runs
+//! on the deterministic simulator and on the UDP loopback cluster, and
+//! both must satisfy the same chaos-oracle invariants (total order,
+//! causality, at-most-once, atomicity). Plus the UDP control plane's
+//! tier-1 guard: kill one process and assert the §5.2 recovery sequence —
+//! failure announced, callbacks fire on survivors, reliable delivery
+//! resumes.
+
+use onepipe::chaos::oracle::Oracle;
+use onepipe::service::config::EndpointConfig;
+use onepipe::service::events::UserEvent;
+use onepipe::service::harness::{Cluster, ClusterConfig};
+use onepipe::types::ids::ProcessId;
+use onepipe::types::message::Message;
+use onepipe::types::time::{MICROS, MILLIS};
+use onepipe::udp::UdpCluster;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// UDP clusters spawn several busy threads each; running tests
+/// concurrently starves them on small CI machines. Serialize.
+static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+const N: usize = 3;
+const ROUNDS: usize = 8;
+
+/// The shared workload: each round, one sender scatters one reliable
+/// message to every other process.
+fn workload() -> Vec<(ProcessId, Vec<ProcessId>)> {
+    (0..ROUNDS)
+        .map(|r| {
+            let sender = ProcessId((r % N) as u32);
+            let receivers =
+                (0..N as u32).map(ProcessId).filter(|&p| p != sender).collect::<Vec<_>>();
+            (sender, receivers)
+        })
+        .collect()
+}
+
+fn payload(round: usize, sender: ProcessId) -> String {
+    format!("r{round}s{}", sender.0)
+}
+
+/// Total number of deliveries the workload produces when nothing fails.
+fn expected_deliveries() -> usize {
+    workload().iter().map(|(_, rs)| rs.len()).sum()
+}
+
+#[test]
+fn conformance_sim_reliable_scatter() {
+    let _guard = TEST_LOCK.lock();
+    let mut cluster = Cluster::new(ClusterConfig::single_rack(N as u32, N));
+    let oracle = Rc::new(RefCell::new(Oracle::new()));
+    cluster.set_chaos(oracle.clone());
+    cluster.run_for(100 * MICROS);
+    for (round, (sender, receivers)) in workload().into_iter().enumerate() {
+        let msgs: Vec<Message> =
+            receivers.iter().map(|&d| Message::new(d, payload(round, sender))).collect();
+        let (ts, seq) = cluster.send_traced(sender, msgs, true).expect("sim send accepted");
+        oracle.borrow_mut().register_send(ts.raw(), sender, seq, ts, receivers, true);
+        cluster.run_for(20 * MICROS);
+    }
+    cluster.run_for(3_000 * MICROS);
+    let delivered = cluster.take_deliveries().len();
+    assert_eq!(delivered, expected_deliveries(), "sim: all reliable scatterings delivered");
+    let failed: Vec<ProcessId> = cluster.failed_processes().iter().map(|&(p, _)| p).collect();
+    assert!(failed.is_empty(), "nothing failed in this run");
+    let mut oracle = oracle.borrow_mut();
+    oracle.finalize(0, &failed);
+    assert!(oracle.ok(), "sim invariants: {}", oracle.first_violation().unwrap());
+}
+
+#[test]
+fn conformance_udp_reliable_scatter() {
+    let _guard = TEST_LOCK.lock();
+    let cluster = UdpCluster::new(N, EndpointConfig::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // barriers start
+    let mut oracle = Oracle::new();
+    for (round, (sender, receivers)) in workload().into_iter().enumerate() {
+        let msgs: Vec<Message> =
+            receivers.iter().map(|&d| Message::new(d, payload(round, sender))).collect();
+        let (ts, seq) = cluster
+            .process(sender.0 as usize)
+            .send_traced(msgs, true, Duration::from_secs(5))
+            .expect("udp send accepted");
+        oracle.register_send(ts.raw(), sender, seq, ts, receivers, true);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Drain deliveries and events, feeding the same oracle checks the sim
+    // harness drives, until every scattering is fully delivered.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut delivered = 0usize;
+    while delivered < expected_deliveries() && Instant::now() < deadline {
+        for i in 0..N {
+            let receiver = ProcessId(i as u32);
+            for (msg, reliable) in cluster.process(i).try_recv_all() {
+                assert!(reliable, "workload is reliable-only");
+                oracle.observe_delivery(msg.ts.raw(), receiver, &msg, reliable);
+                delivered += 1;
+            }
+            for ev in cluster.process(i).try_events() {
+                oracle.observe_event(0, receiver, &ev);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(delivered, expected_deliveries(), "udp: all reliable scatterings delivered");
+    oracle.finalize(0, &[]);
+    assert!(oracle.ok(), "udp invariants: {}", oracle.first_violation().unwrap());
+    cluster.shutdown();
+}
+
+#[test]
+fn udp_kill_one_process_recovers() {
+    let _guard = TEST_LOCK.lock();
+    // Shorter dead-link timeout than the default so the Detect step fires
+    // quickly; still far above the 100 µs beacon cadence.
+    let mut cluster =
+        UdpCluster::with_options(3, EndpointConfig::default(), 100 * MICROS, 500 * MILLIS).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // Baseline: reliable delivery works before the failure.
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "before")]);
+    let got = cluster.process(1).recv_timeout(Duration::from_secs(10)).expect("baseline delivery");
+    assert!(got.1);
+    assert_eq!(got.0.payload, bytes::Bytes::from_static(b"before"));
+
+    // Fail-stop process 2: beacons cease, the soft switch reports the dead
+    // link, the controller announces, survivors complete callbacks, and
+    // Resume releases the commit barrier.
+    cluster.kill(2);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut callbacks = [false, false];
+    while !(callbacks[0] && callbacks[1]) && Instant::now() < deadline {
+        for (i, got) in callbacks.iter_mut().enumerate() {
+            for ev in cluster.process(i).try_events() {
+                if let UserEvent::ProcessFailed { failures, .. } = ev {
+                    assert!(
+                        failures.iter().any(|&(p, _)| p == ProcessId(2)),
+                        "announcement names the killed process, got {failures:?}"
+                    );
+                    *got = true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        callbacks[0] && callbacks[1],
+        "both survivors must receive the failure callback (got {callbacks:?})"
+    );
+
+    // Barriers resumed: reliable delivery (which needs the commit barrier
+    // to pass the message timestamp) works again among the survivors.
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "after")]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got_after = None;
+    while got_after.is_none() && Instant::now() < deadline {
+        if let Some((m, reliable)) = cluster.process(1).recv_timeout(Duration::from_millis(100)) {
+            if m.payload == bytes::Bytes::from_static(b"after") {
+                assert!(reliable);
+                got_after = Some(m);
+            }
+        }
+    }
+    assert!(got_after.is_some(), "reliable delivery must resume after recovery");
+    cluster.shutdown();
+}
