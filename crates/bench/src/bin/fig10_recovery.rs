@@ -7,6 +7,13 @@
 //! sequence; core failures only need the controller's Resume (no process
 //! dies), so they recover faster, and the ToR case is slowest because a
 //! whole rack of processes fails (the paper's "significant jump").
+//!
+//! A fifth column measures the host-failure case with a *concurrent
+//! controller failover*: the Raft leader of the replicated controller is
+//! killed 40 µs after the host, so Detect lands mid-election and the new
+//! leader must re-drive the recovery — the paper's controller-replication
+//! overhead, visible as the extra election + re-drive latency over the
+//! plain Host column.
 
 use onepipe_bench::row;
 use onepipe_core::harness::{Cluster, ClusterConfig};
@@ -20,6 +27,9 @@ enum Failure {
     Tor,
     CoreLink,
     CoreSwitch,
+    /// Host crash with the controller leader killed 40 µs later, while
+    /// that host's recovery is still in flight.
+    HostCtrlFailover,
 }
 
 /// Run one failure experiment: keep a reliable flow running between two
@@ -44,6 +54,13 @@ fn recovery_time(n_procs: usize, failure: Failure, seed: u64) -> f64 {
         Failure::Tor => c.crash_tor(kill_at, victim_rack / 2, victim_rack % 2),
         Failure::CoreLink => c.fail_core_link(kill_at, 0),
         Failure::CoreSwitch => c.crash_core(kill_at, 0),
+        Failure::HostCtrlFailover => {
+            c.crash_host(kill_at, victim);
+            // The warmup election has settled by now, so the current
+            // leader is the one that will be mid-recovery at kill time.
+            let leader = c.controller_leader().unwrap_or(0);
+            c.crash_controller(kill_at + 40_000, leader);
+        }
     }
     let end = kill_at + 3_000_000;
     let mut t = c.sim.now();
@@ -72,13 +89,26 @@ fn recovery_time(n_procs: usize, failure: Failure, seed: u64) -> f64 {
 
 fn main() {
     println!("# Figure 10: failure recovery time (us) — barrier stall seen by correct processes");
-    row(&["hosts".into(), "Host".into(), "ToR".into(), "CoreLink".into(), "CoreSw".into()]);
+    row(&[
+        "hosts".into(),
+        "Host".into(),
+        "ToR".into(),
+        "CoreLink".into(),
+        "CoreSw".into(),
+        "Host+CtrlFail".into(),
+    ]);
     // The testbed topology is fixed at 32 hosts; the paper's x-axis varies
     // the number of *participating* hosts (processes). We sweep process
     // counts over the same topology.
     for &n in &[16usize, 24, 32] {
         let mut cells = vec![n.to_string()];
-        for f in [Failure::Host, Failure::Tor, Failure::CoreLink, Failure::CoreSwitch] {
+        for f in [
+            Failure::Host,
+            Failure::Tor,
+            Failure::CoreLink,
+            Failure::CoreSwitch,
+            Failure::HostCtrlFailover,
+        ] {
             let mut s = Samples::new();
             for seed in 0..3 {
                 s.push(recovery_time(n, f, 1000 + seed));
@@ -88,4 +118,5 @@ fn main() {
         row(&cells);
     }
     println!("# paper: 50-500 us, ToR slowest (whole rack fails), core cases fastest");
+    println!("# Host+CtrlFail: leader killed mid-recovery; stall includes election + re-drive");
 }

@@ -27,15 +27,16 @@
 //! The first violation is kept with a human-readable description; the
 //! campaign runner attaches the fault schedule that produced it.
 
+use onepipe_controller::CtrlAction;
 use onepipe_core::events::UserEvent;
 use onepipe_core::harness::ChaosHook;
 use onepipe_core::simhost::DeliveryRecord;
-use onepipe_types::ids::ProcessId;
+use onepipe_types::ids::{NodeId, ProcessId};
 use onepipe_types::message::OrderKey;
 use onepipe_types::time::Timestamp;
 use std::collections::{HashMap, HashSet};
 
-/// Which of the five checked invariants was violated.
+/// Which of the checked invariants was violated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InvariantKind {
     /// A receiver delivered out of `(ts, sender, seq)` order.
@@ -48,6 +49,13 @@ pub enum InvariantKind {
     Atomicity,
     /// An endpoint's barrier regressed.
     BarrierMonotonicity,
+    /// A controller leader emitted the same recovery decision twice in
+    /// one epoch: re-driving an in-flight recovery is only legitimate
+    /// from a *new* epoch (failover); within an epoch it is a duplicate.
+    CtrlExactlyOnce,
+    /// Recovery never completed: the controller still had pending
+    /// failures after the run drained (a hung reliable channel).
+    RecoveryLiveness,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -58,9 +66,20 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::AtMostOnce => "at-most-once",
             InvariantKind::Atomicity => "atomicity",
             InvariantKind::BarrierMonotonicity => "barrier-monotonicity",
+            InvariantKind::CtrlExactlyOnce => "ctrl-exactly-once",
+            InvariantKind::RecoveryLiveness => "recovery-liveness",
         };
         f.write_str(s)
     }
+}
+
+/// Identity of one controller decision for per-epoch deduplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum CtrlDecision {
+    /// `Announce { id, to }` — one per announcement per recipient.
+    Announce(u64, ProcessId),
+    /// `Resume { at, input }` — one per quarantined input link.
+    Resume(NodeId, NodeId),
 }
 
 /// One invariant violation, with enough context to debug it.
@@ -111,6 +130,9 @@ pub struct Oracle {
     scatterings: HashMap<(ProcessId, u64), ScatterState>,
     /// Last barrier snapshot per endpoint (monotonicity).
     barriers: HashMap<ProcessId, (Timestamp, Timestamp)>,
+    /// Controller decisions seen, keyed by `(epoch, decision identity)`
+    /// (exactly-once per epoch).
+    ctrl_seen: HashSet<(u64, CtrlDecision)>,
     /// All violations, in observation order (first is authoritative).
     violations: Vec<Violation>,
     /// Count of observations fed to the oracle (diagnostics).
@@ -184,6 +206,24 @@ impl Oracle {
     /// Feed one user event observed outside the sim harness.
     pub fn observe_event(&mut self, at: u64, proc: ProcessId, ev: &UserEvent) {
         ChaosHook::on_user_event(self, at, proc, ev);
+    }
+
+    /// Recovery-liveness check: after a run has fully drained, no failure
+    /// handling may still be in flight at the controller (`pending` is
+    /// the number of pending failures reported by the harness). A nonzero
+    /// count means Resume never reached the switch — the reliable channel
+    /// is hung. Call before [`finalize`](Self::finalize) in campaigns
+    /// that inject controller faults.
+    pub fn check_recovery_liveness(&mut self, at: u64, pending: usize) {
+        if pending > 0 {
+            self.record(Violation {
+                kind: InvariantKind::RecoveryLiveness,
+                at,
+                detail: format!(
+                    "{pending} controller recovery(ies) still pending after the run drained"
+                ),
+            });
+        }
     }
 
     /// True while no invariant has been violated.
@@ -327,6 +367,27 @@ impl ChaosHook for Oracle {
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_ctrl_action(&mut self, at: u64, epoch: u64, action: &CtrlAction) {
+        self.observations += 1;
+        // Exactly-once in effect: the harness only reports actions that
+        // survived epoch fencing, so within one epoch each decision must
+        // appear once. A re-driven decision after failover arrives under
+        // a higher epoch and forms a distinct key — that is the intended
+        // at-least-once wire / exactly-once effect split.
+        let key = match *action {
+            CtrlAction::Announce { id, to, .. } => CtrlDecision::Announce(id, to),
+            CtrlAction::Resume { at: site, input } => CtrlDecision::Resume(site, input),
+            CtrlAction::RecoveryInfo { .. } => return, // idempotent reply, not a decision
+        };
+        if !self.ctrl_seen.insert((epoch, key)) {
+            self.record(Violation {
+                kind: InvariantKind::CtrlExactlyOnce,
+                at,
+                detail: format!("controller decision {key:?} delivered twice in epoch {epoch}"),
+            });
         }
     }
 
@@ -497,6 +558,39 @@ mod tests {
         o.on_barrier_sample(20, ProcessId(3), Timestamp::from_nanos(50), Timestamp::from_nanos(95));
         let v = o.first_violation().expect("must fire");
         assert_eq!(v.kind, InvariantKind::BarrierMonotonicity);
+    }
+
+    #[test]
+    fn ctrl_exactly_once_fires_on_same_epoch_duplicate() {
+        let mut o = Oracle::new();
+        let resume = CtrlAction::Resume { at: NodeId(8), input: NodeId(3) };
+        o.on_ctrl_action(10, 1, &resume);
+        o.on_ctrl_action(20, 1, &resume); // same decision, same epoch
+        let v = o.first_violation().expect("must fire");
+        assert_eq!(v.kind, InvariantKind::CtrlExactlyOnce);
+    }
+
+    #[test]
+    fn ctrl_redrive_in_new_epoch_is_clean() {
+        let mut o = Oracle::new();
+        let ann = CtrlAction::Announce {
+            id: 1,
+            to: ProcessId(2),
+            failures: vec![(ProcessId(3), Timestamp::from_nanos(5))],
+        };
+        o.on_ctrl_action(10, 1, &ann);
+        o.on_ctrl_action(20, 2, &ann); // failover re-drive: higher epoch
+        assert!(o.ok(), "unexpected violation: {:?}", o.first_violation());
+    }
+
+    #[test]
+    fn recovery_liveness_fires_on_pending() {
+        let mut o = Oracle::new();
+        o.check_recovery_liveness(100, 0);
+        assert!(o.ok());
+        o.check_recovery_liveness(200, 2);
+        let v = o.first_violation().expect("must fire");
+        assert_eq!(v.kind, InvariantKind::RecoveryLiveness);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`shrink`] and written to `results/chaos/` for replay.
 
 use crate::oracle::{Oracle, Violation};
-use crate::schedule::{processes_on_hosts, FaultBudget, FaultSchedule};
+use crate::schedule::{processes_on_hosts, Fault, FaultBudget, FaultSchedule};
 use crate::shrink::shrink;
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_types::ids::ProcessId;
@@ -85,8 +85,12 @@ pub struct SeedOutcome {
     /// Total deliveries observed across the cluster.
     pub deliveries: usize,
     /// Faults the engine actually executed (crashes, link transitions,
-    /// loss mutations) — cross-check against the schedule length.
+    /// loss mutations, controller faults) — cross-check against the
+    /// schedule length.
     pub faults_injected: u64,
+    /// Controller leader elections observed (initial election included);
+    /// `>= 2` whenever a leader crash or partition forced a failover.
+    pub ctrl_elections: u64,
     /// Canonical rendering of every delivery across the cluster, one line
     /// per delivery in delivery order. Byte-identical across replays of
     /// the same `(cfg, seed, schedule)`; the engine-determinism regression
@@ -213,7 +217,18 @@ pub fn run_with_schedule(cfg: &CampaignConfig, seed: u64, schedule: &FaultSchedu
     let deliveries = c.deliveries.borrow().len();
     let delivery_log = render_delivery_log(&c.deliveries.borrow());
     let faults_injected = c.sim.stats.faults_injected();
+    let ctrl_elections = c.sim.stats.ctrl_elections;
     let mut o = oracle.borrow_mut();
+    // Recovery liveness is only judged when the schedule attacked the
+    // controller: that is the campaign whose acceptance is "failover
+    // re-drives and the reliable channel never hangs". (Controller-free
+    // schedules already catch hangs indirectly via atomicity.)
+    let ctrl_faults = schedule.events.iter().any(|e| {
+        matches!(e.fault, Fault::ControllerCrash { .. } | Fault::ControllerPartition { .. })
+    });
+    if ctrl_faults {
+        o.check_recovery_liveness(c.sim.now(), c.controller_pending().len());
+    }
     o.finalize(c.sim.now(), &failed);
     SeedOutcome {
         seed,
@@ -222,6 +237,7 @@ pub fn run_with_schedule(cfg: &CampaignConfig, seed: u64, schedule: &FaultSchedu
         sends,
         deliveries,
         faults_injected,
+        ctrl_elections,
         delivery_log,
     }
 }

@@ -70,13 +70,36 @@ pub enum Fault {
         /// Partition duration, ns.
         duration: u64,
     },
+    /// Fail-stop one controller replica (never restarts). With the
+    /// default 3-replica cluster the survivors elect a new leader that
+    /// re-drives any in-flight recovery.
+    ControllerCrash {
+        /// Replica index, or `None` to kill whichever replica is leader
+        /// when the fault fires (the worst case).
+        replica: Option<u32>,
+    },
+    /// Cut one controller replica off the management network for
+    /// `duration` ns, both directions; it keeps running and rejoins.
+    ControllerPartition {
+        /// Replica index, or `None` for the leader at fire time.
+        replica: Option<u32>,
+        /// Partition duration, ns.
+        duration: u64,
+    },
 }
 
 impl Fault {
     /// True for faults the engine can execute from pre-scheduled events;
-    /// false for faults the runner must apply at runtime (clock skew).
+    /// false for faults the runner must apply at runtime (clock skews,
+    /// and controller faults whose `None` target resolves to "the leader
+    /// right now").
     pub fn is_schedulable(&self) -> bool {
-        !matches!(self, Fault::ClockSkew { .. })
+        !matches!(
+            self,
+            Fault::ClockSkew { .. }
+                | Fault::ControllerCrash { .. }
+                | Fault::ControllerPartition { .. }
+        )
     }
 
     /// When the fault's effect ends (absolute, given its start time), for
@@ -84,9 +107,9 @@ impl Fault {
     pub fn end_time(&self, start: u64) -> u64 {
         match self {
             Fault::LinkFlap { down_for, .. } => start + down_for,
-            Fault::LossBurst { duration, .. } | Fault::RackPartition { duration, .. } => {
-                start + duration
-            }
+            Fault::LossBurst { duration, .. }
+            | Fault::RackPartition { duration, .. }
+            | Fault::ControllerPartition { duration, .. } => start + duration,
             _ => start,
         }
     }
@@ -110,6 +133,14 @@ impl std::fmt::Display for Fault {
             Fault::RackPartition { host, duration } => {
                 write!(f, "partition rack of {host:?} for {duration}ns")
             }
+            Fault::ControllerCrash { replica } => match replica {
+                Some(r) => write!(f, "crash controller replica {r}"),
+                None => write!(f, "crash controller leader"),
+            },
+            Fault::ControllerPartition { replica, duration } => match replica {
+                Some(r) => write!(f, "partition controller replica {r} for {duration}ns"),
+                None => write!(f, "partition controller leader for {duration}ns"),
+            },
         }
     }
 }
@@ -144,6 +175,11 @@ pub struct FaultBudget {
     pub clock_skews: u32,
     /// Maximum rack partitions.
     pub rack_partitions: u32,
+    /// Maximum controller-replica crashes (capped at 1 during generation:
+    /// a 3-replica Raft cluster tolerates exactly one fail-stop).
+    pub controller_crashes: u32,
+    /// Maximum controller management-network partitions.
+    pub controller_partitions: u32,
     /// Longest transient outage (flap / burst / partition), ns.
     pub max_outage: u64,
     /// Largest clock-skew magnitude, ns.
@@ -159,6 +195,8 @@ impl Default for FaultBudget {
             loss_bursts: 2,
             clock_skews: 2,
             rack_partitions: 1,
+            controller_crashes: 0,
+            controller_partitions: 0,
             max_outage: 100_000, // 100 µs — beyond the 30 µs dead-link timeout
             max_skew: 20_000,
         }
@@ -170,6 +208,13 @@ impl FaultBudget {
     /// single-rack topologies where a ToR crash would kill every process.
     pub fn transient_only() -> Self {
         FaultBudget { host_crashes: 0, switch_crashes: 0, ..Self::default() }
+    }
+
+    /// Enable controller faults on top of this budget: one replica crash
+    /// and one management-network partition, anchored near a data-plane
+    /// crash so the controller dies *mid-recovery*.
+    pub fn with_controller_faults(self) -> Self {
+        FaultBudget { controller_crashes: 1, controller_partitions: 1, ..self }
     }
 }
 
@@ -303,6 +348,33 @@ impl FaultSchedule {
                 });
             }
         }
+        // Controller faults are anchored 20–80 µs after the first
+        // data-plane crash when one exists, so the replica dies while a
+        // host/rack failure is still being recovered — the interesting
+        // window. The RNG is only touched when the budget enables them,
+        // keeping schedules for controller-free budgets byte-identical.
+        let anchor = events
+            .iter()
+            .filter(|e| matches!(e.fault, Fault::HostCrash { .. } | Fault::TorCrash { .. }))
+            .map(|e| e.at)
+            .min();
+        if budget.controller_crashes > 0 {
+            let base = anchor.unwrap_or_else(|| at(&mut rng));
+            let t = base + rng.random_range(20_000u64..=80_000);
+            // Cap at one: a 3-replica cluster only tolerates one fail-stop.
+            events.push(FaultEvent { at: t, fault: Fault::ControllerCrash { replica: None } });
+        }
+        if budget.controller_partitions > 0 {
+            for _ in 0..rng.random_range(1..=budget.controller_partitions) {
+                let base = anchor.unwrap_or(start);
+                let t = base + rng.random_range(20_000u64..=80_000);
+                let duration = outage(&mut rng, budget);
+                events.push(FaultEvent {
+                    at: t,
+                    fault: Fault::ControllerPartition { replica: None, duration },
+                });
+            }
+        }
         Self::new(events)
     }
 
@@ -332,7 +404,9 @@ impl FaultSchedule {
                         cluster.sim.schedule_link_up(e.at + duration, link);
                     }
                 }
-                Fault::ClockSkew { .. } => runtime.push(e.clone()),
+                Fault::ClockSkew { .. }
+                | Fault::ControllerCrash { .. }
+                | Fault::ControllerPartition { .. } => runtime.push(e.clone()),
             }
         }
         runtime.sort_by_key(|e| e.at);
@@ -342,11 +416,30 @@ impl FaultSchedule {
     /// Apply one runtime fault now (the simulation clock must have reached
     /// `ev.at`).
     pub fn apply_runtime(cluster: &mut Cluster, ev: &FaultEvent) {
-        if let Fault::ClockSkew { host, offset_ns } = ev.fault {
-            cluster.with_host(host, |hl, ctx| {
-                let now = ctx.now();
-                hl.perturb_clock(now, offset_ns as f64);
-            });
+        // A `None` controller target means "whoever leads right now" —
+        // resolvable only at fire time, which is why these are runtime
+        // faults. Fall back to replica 0 mid-election.
+        let resolve = |cluster: &Cluster, replica: Option<u32>| {
+            replica.map(|r| r as usize).or_else(|| cluster.controller_leader()).unwrap_or(0)
+        };
+        match ev.fault {
+            Fault::ClockSkew { host, offset_ns } => {
+                cluster.with_host(host, |hl, ctx| {
+                    let now = ctx.now();
+                    hl.perturb_clock(now, offset_ns as f64);
+                });
+            }
+            Fault::ControllerCrash { replica } => {
+                let r = resolve(cluster, replica);
+                let now = cluster.sim.now().max(ev.at);
+                cluster.crash_controller(now, r);
+            }
+            Fault::ControllerPartition { replica, duration } => {
+                let r = resolve(cluster, replica);
+                let now = cluster.sim.now().max(ev.at);
+                cluster.partition_controller(now, r, duration);
+            }
+            _ => {}
         }
     }
 
@@ -448,6 +541,57 @@ mod tests {
         let dead = s.crashed_hosts(&topo);
         assert_eq!(dead.len(), topo.hosts_per_tor as usize);
         assert!(dead.contains(&HostId(2 * topo.hosts_per_tor)));
+    }
+
+    #[test]
+    fn controller_budget_anchors_faults_after_a_crash() {
+        let topo = FatTreeParams::testbed();
+        let budget =
+            FaultBudget { host_crashes: 2, ..FaultBudget::default() }.with_controller_faults();
+        let mut seen_any = false;
+        for seed in 0..20 {
+            let s = FaultSchedule::generate(seed, 1000, 500_000, &topo, &budget);
+            let crashes: Vec<u64> = s
+                .events
+                .iter()
+                .filter(|e| matches!(e.fault, Fault::HostCrash { .. } | Fault::TorCrash { .. }))
+                .map(|e| e.at)
+                .collect();
+            for e in &s.events {
+                if let Fault::ControllerCrash { replica } = e.fault {
+                    assert_eq!(replica, None, "generated crashes target the leader");
+                    seen_any = true;
+                    if let Some(&first) = crashes.iter().min() {
+                        assert!(
+                            e.at >= first + 20_000 && e.at <= first + 80_000,
+                            "seed {seed}: controller crash at {} not anchored to crash at {first}",
+                            e.at
+                        );
+                    }
+                }
+            }
+            assert!(
+                s.events
+                    .iter()
+                    .filter(|e| matches!(e.fault, Fault::ControllerCrash { .. }))
+                    .count()
+                    <= 1,
+                "never generate more controller crashes than the cluster tolerates"
+            );
+        }
+        assert!(seen_any, "budget with controller faults must generate controller crashes");
+    }
+
+    #[test]
+    fn controller_free_budget_generates_identical_schedules() {
+        // Enabling the new budget knobs must not perturb the RNG stream of
+        // existing budgets (replay goldens depend on it).
+        let topo = FatTreeParams::testbed();
+        let plain = FaultSchedule::generate(3, 1000, 500_000, &topo, &FaultBudget::default());
+        assert!(!plain.events.iter().any(|e| matches!(
+            e.fault,
+            Fault::ControllerCrash { .. } | Fault::ControllerPartition { .. }
+        )));
     }
 
     #[test]

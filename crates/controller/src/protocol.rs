@@ -102,6 +102,14 @@ pub enum CtrlEvent {
         /// The component whose failure is being announced.
         component: ComponentId,
     },
+    /// Barrier entry a freshly elected leader writes to its log. Raft only
+    /// commits current-term entries directly, so committing this entry is
+    /// what commits (and surfaces) every surviving entry from prior terms;
+    /// its application is the signal to re-drive in-flight recoveries.
+    NewEpoch {
+        /// The new leader's term.
+        term: u64,
+    },
 }
 
 /// Actions for the harness / management network to carry out.
@@ -142,6 +150,29 @@ pub enum CtrlAction {
     },
 }
 
+/// Where a [`CtrlAction`] must be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionDest {
+    /// Deliver to a process (host endpoint).
+    Process(ProcessId),
+    /// Deliver to the switch that reported the dead link.
+    Switch(NodeId),
+}
+
+impl CtrlAction {
+    /// The single routing rule shared by every transport (sim harness and
+    /// UDP controller): Announce and RecoveryInfo go to a process,
+    /// Resume goes to the reporting switch. Keeping this here means the
+    /// transports cannot drift on recovery semantics.
+    pub fn dest(&self) -> ActionDest {
+        match self {
+            CtrlAction::Announce { to, .. } => ActionDest::Process(*to),
+            CtrlAction::RecoveryInfo { to, .. } => ActionDest::Process(*to),
+            CtrlAction::Resume { at, .. } => ActionDest::Switch(*at),
+        }
+    }
+}
+
 /// A failure being processed (between Detect and Resume).
 #[derive(Clone, Debug)]
 pub struct PendingFailure {
@@ -176,6 +207,11 @@ pub struct ControllerCore {
     next_announce_id: u64,
     /// Undeliverable recalls per receiver: (sender, ts, seq).
     recall_records: BTreeMap<ProcessId, Vec<(ProcessId, Timestamp, u64)>>,
+    /// Links whose Resume has been emitted: `(reporter, input)`. Kept so a
+    /// new leader can re-drive Resume after failover, and so duplicate
+    /// Detect reports for an already-resumed link (at-least-once event
+    /// delivery) cannot reopen a finished recovery.
+    resumed: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl ControllerCore {
@@ -189,6 +225,7 @@ impl ControllerCore {
             pending: BTreeMap::new(),
             next_announce_id: 1,
             recall_records: BTreeMap::new(),
+            resumed: BTreeSet::new(),
         }
     }
 
@@ -219,6 +256,11 @@ impl ControllerCore {
                 let Some(&comp) = self.domains.component_of.get(&dead) else {
                     return Vec::new();
                 };
+                // At-least-once event delivery: a duplicate report for a
+                // link we already resumed is stale, not a new failure.
+                if self.resumed.contains(&(reporter, dead)) {
+                    return Vec::new();
+                }
                 let entry = self.pending.entry(comp).or_insert_with(|| PendingFailure {
                     component: comp,
                     failure_ts: Timestamp::ZERO,
@@ -249,7 +291,12 @@ impl ControllerCore {
                 self.finish_ready()
             }
             CtrlEvent::UndeliverableRecall { to, ts, seq, sender } => {
-                self.recall_records.entry(to).or_default().push((sender, ts, seq));
+                let records = self.recall_records.entry(to).or_default();
+                // Hosts retry this request until acknowledged; dedupe so a
+                // re-delivered copy does not double-record the recall.
+                if !records.contains(&(sender, ts, seq)) {
+                    records.push((sender, ts, seq));
+                }
                 Vec::new()
             }
             CtrlEvent::RecoveryRequest { proc } => {
@@ -259,6 +306,9 @@ impl ControllerCore {
                     recalls: self.recall_records.get(&proc).cloned().unwrap_or_default(),
                 }]
             }
+            // Pure log barrier; state is untouched. The replication layer
+            // reacts to its commitment (re-drive), not the state machine.
+            CtrlEvent::NewEpoch { .. } => Vec::new(),
         }
     }
 
@@ -360,8 +410,51 @@ impl ControllerCore {
         for comp in ready {
             let p = self.pending.remove(&comp).unwrap();
             for (at, input) in p.dead_links {
+                self.resumed.insert((at, input));
                 actions.push(CtrlAction::Resume { at, input });
             }
+        }
+        actions
+    }
+
+    /// Clear leader-side "decision already proposed" bookkeeping. A new
+    /// leader must call this on election: the flag lives outside the
+    /// replicated log, so it reflects the *previous* leader's proposals —
+    /// some of which may have died with it. Re-proposing is safe because
+    /// [`announce_component`](Self::apply) is idempotent.
+    pub fn reset_decision_proposals(&mut self) {
+        for p in self.pending.values_mut() {
+            p.decision_proposed = false;
+        }
+    }
+
+    /// Actions a freshly elected leader must re-issue to guarantee every
+    /// in-flight recovery makes progress (exactly-once is enforced at the
+    /// receivers, which dedupe by announcement id / resumed link):
+    /// * re-Announce every announced-but-unfinished failure to the
+    ///   processes that have not completed their callbacks, and
+    /// * re-send every Resume recorded in the log's history, in case the
+    ///   old leader committed the final callback but crashed before the
+    ///   Resume action left the building.
+    pub fn redrive_actions(&self) -> Vec<CtrlAction> {
+        let mut actions = Vec::new();
+        for p in self.pending.values() {
+            let Some(id) = p.announce_id else { continue };
+            if id == 0 {
+                continue; // fabric failure: no announcement was sent
+            }
+            let failures: Vec<(ProcessId, Timestamp)> = self
+                .domains
+                .killed_procs
+                .get(&p.component)
+                .map(|ks| ks.iter().filter_map(|k| self.failed.get(k).map(|&t| (*k, t))).collect())
+                .unwrap_or_default();
+            for &proc in p.expected.difference(&p.completed) {
+                actions.push(CtrlAction::Announce { id, to: proc, failures: failures.clone() });
+            }
+        }
+        for &(at, input) in &self.resumed {
+            actions.push(CtrlAction::Resume { at, input });
         }
         actions
     }
@@ -402,6 +495,10 @@ impl CtrlEvent {
             CtrlEvent::AnnounceDecision { component } => {
                 b.put_u8(4);
                 b.put_u32(*component);
+            }
+            CtrlEvent::NewEpoch { term } => {
+                b.put_u8(5);
+                b.put_u64(*term);
             }
         }
         b.freeze()
@@ -454,6 +551,10 @@ impl CtrlEvent {
             4 => {
                 need(&buf, 4)?;
                 CtrlEvent::AnnounceDecision { component: buf.get_u32() }
+            }
+            5 => {
+                need(&buf, 8)?;
+                CtrlEvent::NewEpoch { term: buf.get_u64() }
             }
             other => return Err(Error::BadOpcode(other)),
         })
@@ -637,6 +738,87 @@ mod tests {
     }
 
     #[test]
+    fn redrive_reannounces_only_to_incomplete_processes() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(100), at: 0 },
+            0,
+        );
+        let a = c.tick(10_000);
+        let id = a
+            .iter()
+            .find_map(|x| match x {
+                CtrlAction::Announce { id, .. } => Some(*id),
+                _ => None,
+            })
+            .unwrap();
+        c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(1) }, 11_000);
+        // A new leader re-drives: only p2 (incomplete) gets re-announced.
+        let redrive = c.redrive_actions();
+        assert_eq!(
+            redrive,
+            vec![CtrlAction::Announce {
+                id,
+                to: ProcessId(2),
+                failures: vec![(ProcessId(0), ts(100))],
+            }]
+        );
+        // Once finished, re-drive re-sends the recorded Resumes instead.
+        c.apply(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) }, 12_000);
+        assert_eq!(
+            c.redrive_actions(),
+            vec![CtrlAction::Resume { at: NodeId(5), input: NodeId(0) }]
+        );
+    }
+
+    #[test]
+    fn duplicate_detect_after_resume_is_ignored() {
+        let mut c = core();
+        let detect =
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(10), last_commit: ts(42), at: 0 };
+        c.apply(detect.clone(), 0);
+        let a = c.tick(10_000);
+        assert_eq!(a.len(), 1, "fabric failure resumes immediately");
+        // A retried copy of the same report must not reopen the recovery
+        // (that would emit a second Resume for the same link).
+        let a = c.apply(detect, 20_000);
+        assert!(a.is_empty());
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn duplicate_undeliverable_recall_recorded_once() {
+        let mut c = core();
+        let ev = CtrlEvent::UndeliverableRecall {
+            to: ProcessId(0),
+            ts: ts(500),
+            seq: 3,
+            sender: ProcessId(1),
+        };
+        c.apply(ev.clone(), 0);
+        c.apply(ev, 1_000);
+        let a = c.apply(CtrlEvent::RecoveryRequest { proc: ProcessId(0) }, 2_000);
+        match &a[0] {
+            CtrlAction::RecoveryInfo { recalls, .. } => assert_eq!(recalls.len(), 1),
+            other => panic!("expected RecoveryInfo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_decision_proposals_allows_reproposal() {
+        let mut c = core();
+        c.apply(
+            CtrlEvent::Detect { reporter: NodeId(5), dead: NodeId(0), last_commit: ts(1), at: 0 },
+            0,
+        );
+        c.mark_decision_proposed(0);
+        assert!(c.expired_windows(10_000).is_empty(), "proposed decisions are not re-offered");
+        // Leader change: the proposal may have died with the old leader.
+        c.reset_decision_proposals();
+        assert_eq!(c.expired_windows(10_000), vec![0]);
+    }
+
+    #[test]
     fn event_codec_roundtrip() {
         let events = vec![
             CtrlEvent::Detect {
@@ -654,6 +836,7 @@ mod tests {
             },
             CtrlEvent::RecoveryRequest { proc: ProcessId(8) },
             CtrlEvent::AnnounceDecision { component: 11 },
+            CtrlEvent::NewEpoch { term: 12 },
         ];
         for ev in events {
             let encoded = ev.encode();

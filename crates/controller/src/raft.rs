@@ -111,6 +111,9 @@ pub struct RaftNode {
     match_index: Vec<u64>,
     election_deadline: u64,
     heartbeat_due: u64,
+    /// Last replica observed acting as leader for the current term (self
+    /// when leading). Used to redirect clients; cleared on term changes.
+    leader_hint: Option<u32>,
 }
 
 impl RaftNode {
@@ -133,6 +136,7 @@ impl RaftNode {
             match_index: vec![0; n],
             election_deadline: 0,
             heartbeat_due: 0,
+            leader_hint: None,
         };
         node.reset_election_deadline(0);
         node
@@ -163,6 +167,17 @@ impl RaftNode {
         self.commit_index
     }
 
+    /// Index of the last log entry (committed or not).
+    pub fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The replica last seen acting as leader for the current term, if
+    /// any — self when leading. Clients use this to find the leader.
+    pub fn leader_hint(&self) -> Option<u32> {
+        self.leader_hint
+    }
+
     /// Deterministic per-replica election stagger: replica ids spread
     /// their timeouts so elections rarely collide (a substitute for the
     /// randomized timeout of full Raft that keeps the simulation
@@ -173,10 +188,6 @@ impl RaftNode {
 
     fn reset_election_deadline(&mut self, now: u64) {
         self.election_deadline = now + self.cfg.election_timeout + self.stagger();
-    }
-
-    fn last_log_index(&self) -> u64 {
-        self.log.len() as u64
     }
 
     fn last_log_term(&self) -> u64 {
@@ -192,6 +203,9 @@ impl RaftNode {
     }
 
     fn become_follower(&mut self, term: u64, now: u64) {
+        if term != self.term {
+            self.leader_hint = None;
+        }
         self.term = term;
         self.role = RaftRole::Follower;
         self.voted_for = None;
@@ -243,6 +257,7 @@ impl RaftNode {
                     self.term += 1;
                     self.role = RaftRole::Candidate;
                     self.voted_for = Some(self.id);
+                    self.leader_hint = None;
                     self.votes = 1;
                     self.reset_election_deadline(now);
                     if self.votes >= self.quorum() {
@@ -267,6 +282,7 @@ impl RaftNode {
 
     fn become_leader(&mut self, now: u64, out: &mut Vec<(u32, RaftMsg)>) {
         self.role = RaftRole::Leader;
+        self.leader_hint = Some(self.id);
         self.heartbeat_due = now + self.cfg.heartbeat_interval;
         let next = self.last_log_index() + 1;
         for i in 0..self.peers.len() {
@@ -332,6 +348,7 @@ impl RaftNode {
                     ));
                     return out;
                 }
+                self.leader_hint = Some(from);
                 self.reset_election_deadline(now);
                 // Consistency check.
                 if prev_log_index > self.last_log_index()

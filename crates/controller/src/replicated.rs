@@ -15,6 +15,10 @@ use onepipe_types::ids::ProcessId;
 pub struct ReplicatedController {
     raft: RaftNode,
     core: ControllerCore,
+    /// Leadership edge detector: when this flips false→true the replica
+    /// writes a [`CtrlEvent::NewEpoch`] barrier and prepares to re-drive
+    /// in-flight recoveries once that barrier commits.
+    was_leader: bool,
 }
 
 impl ReplicatedController {
@@ -29,6 +33,7 @@ impl ReplicatedController {
         ReplicatedController {
             raft: RaftNode::new(id, peers, cfg),
             core: ControllerCore::new(domains, procs),
+            was_leader: false,
         }
     }
 
@@ -40,6 +45,29 @@ impl ReplicatedController {
     /// Replica id.
     pub fn id(&self) -> u32 {
         self.raft.id()
+    }
+
+    /// The controller epoch: the Raft term of this replica. Actions are
+    /// tagged with the emitting leader's epoch so receivers can fence off
+    /// stale leaders.
+    pub fn epoch(&self) -> u64 {
+        self.raft.term()
+    }
+
+    /// Committed log length (for ack-on-commit client protocols).
+    pub fn commit_index(&self) -> u64 {
+        self.raft.commit_index()
+    }
+
+    /// Index of the last log entry (committed or not).
+    pub fn last_log_index(&self) -> u64 {
+        self.raft.last_log_index()
+    }
+
+    /// Best-known current leader (self when leading), for redirecting
+    /// clients that contacted a follower.
+    pub fn leader_hint(&self) -> Option<u32> {
+        self.raft.leader_hint()
     }
 
     /// Read access to the underlying state machine.
@@ -65,6 +93,7 @@ impl ReplicatedController {
     /// every replica applies identical state transitions.
     pub fn tick(&mut self, now: u64) -> (Vec<(u32, RaftMsg)>, Vec<CtrlAction>) {
         let msgs = self.raft.tick(now);
+        self.leadership_check();
         let mut actions = self.drain_committed(now);
         if self.raft.is_leader() {
             for comp in self.core.expired_windows(now) {
@@ -89,18 +118,52 @@ impl ReplicatedController {
         now: u64,
     ) -> (Vec<(u32, RaftMsg)>, Vec<CtrlAction>) {
         let msgs = self.raft.on_message(from, msg, now);
+        self.leadership_check();
         let actions = self.drain_committed(now);
         (msgs, actions)
+    }
+
+    /// React to leadership edges. On acquiring leadership the replica (a)
+    /// forgets the previous leader's unlogged "decision proposed" flags so
+    /// stalled Determine windows are re-proposed, and (b) writes a
+    /// [`CtrlEvent::NewEpoch`] barrier whose commitment both surfaces
+    /// surviving prior-term entries (Raft commits only current-term
+    /// entries directly) and triggers the re-drive of in-flight
+    /// recoveries.
+    fn leadership_check(&mut self) {
+        let leading = self.raft.is_leader();
+        if leading && !self.was_leader {
+            self.core.reset_decision_proposals();
+            self.raft.propose(CtrlEvent::NewEpoch { term: self.raft.term() }.encode().to_vec());
+        }
+        self.was_leader = leading;
     }
 
     fn drain_committed(&mut self, now: u64) -> Vec<CtrlAction> {
         let mut actions = Vec::new();
         let leader = self.raft.is_leader();
+        let term = self.raft.term();
         for entry in self.raft.take_committed() {
+            let own_term = entry.term == term;
             if let Ok(ev) = CtrlEvent::decode(entry.data.into()) {
+                // Re-drive exactly once per leadership: on our own epoch
+                // barrier (older barriers replayed during catch-up must
+                // not re-emit, or a single epoch would duplicate actions).
+                let redrive = leader && matches!(ev, CtrlEvent::NewEpoch { term: t } if t == term);
                 let a = self.core.apply(ev, now);
                 if leader {
-                    actions.extend(a);
+                    // A surviving prior-term entry (e.g. the old leader's
+                    // AnnounceDecision) commits *under* our own barrier; it
+                    // must mutate state silently, because the barrier's
+                    // re-drive re-derives everything still owed — emitting
+                    // its actions here too would send the same decision
+                    // twice within one epoch.
+                    if own_term {
+                        actions.extend(a);
+                    }
+                    if redrive {
+                        actions.extend(self.core.redrive_actions());
+                    }
                 }
             }
         }
@@ -124,6 +187,7 @@ mod tests {
     struct Cluster {
         replicas: Vec<ReplicatedController>,
         inflight: VecDeque<(u32, u32, RaftMsg)>,
+        blocked: Vec<bool>,
         now: u64,
     }
 
@@ -142,7 +206,12 @@ mod tests {
                     )
                 })
                 .collect();
-            Cluster { replicas, inflight: VecDeque::new(), now: 0 }
+            Cluster {
+                replicas,
+                inflight: VecDeque::new(),
+                blocked: vec![false; n as usize],
+                now: 0,
+            }
         }
 
         fn run(&mut self, dt: u64) -> Vec<CtrlAction> {
@@ -151,6 +220,9 @@ mod tests {
             while self.now < end {
                 self.now += 100;
                 for i in 0..self.replicas.len() {
+                    if self.blocked[i] {
+                        continue;
+                    }
                     let (msgs, acts) = self.replicas[i].tick(self.now);
                     for (to, m) in msgs {
                         self.inflight.push_back((i as u32, to, m));
@@ -158,6 +230,9 @@ mod tests {
                     actions.extend(acts);
                 }
                 while let Some((from, to, m)) = self.inflight.pop_front() {
+                    if self.blocked[from as usize] || self.blocked[to as usize] {
+                        continue;
+                    }
                     let (msgs, acts) = self.replicas[to as usize].on_raft_msg(from, m, self.now);
                     for (t2, m2) in msgs {
                         self.inflight.push_back((to, t2, m2));
@@ -169,7 +244,11 @@ mod tests {
         }
 
         fn leader(&self) -> usize {
-            self.replicas.iter().position(|r| r.is_leader()).unwrap()
+            self.replicas
+                .iter()
+                .enumerate()
+                .position(|(i, r)| r.is_leader() && !self.blocked[i])
+                .unwrap()
         }
     }
 
@@ -242,6 +321,123 @@ mod tests {
             core.correct_processes().collect::<Vec<_>>(),
             rep.core().correct_processes().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn failover_redrives_in_flight_recovery_exactly_once() {
+        let mut c = Cluster::new(3);
+        c.run(10_000);
+        let old = c.leader();
+        assert!(c.replicas[old].submit(CtrlEvent::Detect {
+            reporter: NodeId(5),
+            dead: NodeId(0),
+            last_commit: Timestamp::from_nanos(42),
+            at: c.now,
+        }));
+        // Let the Determine window close and the announcement commit, and
+        // let one of the two survivors complete its callback.
+        let actions = c.run(60_000);
+        let id = actions
+            .iter()
+            .find_map(|a| match a {
+                CtrlAction::Announce { id, .. } => Some(*id),
+                _ => None,
+            })
+            .expect("old leader announced");
+        assert!(c.replicas[old]
+            .submit(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(1) }));
+        c.run(2_000);
+        // Kill the old leader mid-recovery.
+        c.blocked[old] = true;
+        let actions = c.run(30_000);
+        let new = c.leader();
+        assert_ne!(new, old, "a different replica took over");
+        let new_epoch = c.replicas[new].epoch();
+        // The new leader re-announced, but only to the survivor that had
+        // not completed (p2) — p1's completion committed before failover.
+        let reannounces: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                CtrlAction::Announce { id: i, to, .. } if *i == id => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reannounces, vec![ProcessId(2)]);
+        // The last completion now finishes recovery: exactly one Resume.
+        assert!(c.replicas[new]
+            .submit(CtrlEvent::CallbackComplete { announce_id: id, from: ProcessId(2) }));
+        let actions = c.run(10_000);
+        let resumes = actions.iter().filter(|a| matches!(a, CtrlAction::Resume { .. })).count();
+        assert_eq!(resumes, 1, "exactly one Resume in epoch {new_epoch}");
+        // Every live replica converged on the failure.
+        for (i, r) in c.replicas.iter().enumerate() {
+            if i == old {
+                continue;
+            }
+            assert_eq!(
+                r.core().failures().collect::<Vec<_>>(),
+                vec![(ProcessId(0), Timestamp::from_nanos(42))]
+            );
+            assert!(!r.core().has_pending());
+        }
+    }
+
+    #[test]
+    fn catchup_entries_do_not_duplicate_redrive_within_one_epoch() {
+        // The old leader proposes an AnnounceDecision and replicates it to
+        // the followers, but dies before the commit index reaches them.
+        // The entry then commits *under* the new leader's NewEpoch barrier
+        // — applying it must not emit announcements on top of the
+        // barrier's re-drive, or one epoch delivers every decision twice.
+        let mut c = Cluster::new(3);
+        c.run(10_000);
+        let old = c.leader();
+        assert!(c.replicas[old].submit(CtrlEvent::Detect {
+            reporter: NodeId(5),
+            dead: NodeId(0),
+            last_commit: Timestamp::from_nanos(42),
+            at: c.now,
+        }));
+        // Step until the Determine window closes and the decision is
+        // proposed (the leader's log grows past the Detect entry).
+        let base = c.replicas[old].last_log_index();
+        let mut steps = 0;
+        while c.replicas[old].last_log_index() == base {
+            c.run(100);
+            steps += 1;
+            assert!(steps < 1_000, "leader never proposed the announce decision");
+        }
+        // Step until the survivors hold the decision appended but not yet
+        // committed (leader_commit piggybacks on the *next* heartbeat), a
+        // window of up to one heartbeat interval — then crash the leader.
+        let target = c.replicas[old].last_log_index();
+        let mut steps = 0;
+        while !(0..3).filter(|&i| i != old).all(|i| {
+            c.replicas[i].last_log_index() >= target && c.replicas[i].commit_index() < target
+        }) {
+            c.run(100);
+            steps += 1;
+            assert!(steps < 100, "missed the appended-but-uncommitted window");
+        }
+        c.blocked[old] = true;
+        let actions = c.run(60_000);
+        let new = c.leader();
+        assert_ne!(new, old, "a different replica took over");
+        // Everything after the crash happens in the new leader's single
+        // epoch: each (id, recipient) announcement must appear exactly once.
+        let mut seen = std::collections::HashSet::new();
+        let mut announced = 0;
+        for a in &actions {
+            if let CtrlAction::Announce { id, to, .. } = a {
+                announced += 1;
+                assert!(
+                    seen.insert((*id, *to)),
+                    "Announce({id}, {to:?}) duplicated within epoch {}",
+                    c.replicas[new].epoch()
+                );
+            }
+        }
+        assert_eq!(announced, 2, "the new leader must announce to both correct processes");
     }
 
     #[test]

@@ -7,16 +7,23 @@
 //! over the management network between hosts, switches, and the
 //! controller leader:
 //!
-//! * **Event** — switch dead-link reports and host `CtrlRequest`s going
-//!   *to* the controller (the same [`CtrlEvent`]s that enter the
-//!   replicated log, reusing its codec);
+//! * **Event** — switch dead-link reports going *to* the controller (the
+//!   same [`CtrlEvent`]s that enter the replicated log, reusing its
+//!   codec), fire-and-forget — switches re-report until resumed;
+//! * **Req / Ack / Redirect** — host `CtrlRequest`s under the retry
+//!   protocol: a host tags its event with a sequence number, retries with
+//!   capped exponential backoff until the leader acks (on *commit*, not
+//!   receipt), and follows `Redirect`s from non-leader replicas;
 //! * **Action** — Announce / Resume / RecoveryInfo decisions going *from*
-//!   the controller to hosts and switches;
+//!   the controller to hosts and switches, tagged with the leader's epoch
+//!   (Raft term) so receivers can fence off deposed leaders;
+//! * **Raft** — replica-to-replica consensus traffic;
 //! * **Forward** — a full 1Pipe datagram relayed through the controller
 //!   when the direct path is dead (§5.2's forwarding fallback), carried
 //!   opaquely.
 
 use crate::protocol::{CtrlAction, CtrlEvent};
+use crate::raft::{LogEntry, RaftMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use onepipe_types::ids::{NodeId, ProcessId};
 use onepipe_types::time::Timestamp;
@@ -27,10 +34,43 @@ use onepipe_types::wire::Datagram;
 pub enum MgmtFrame {
     /// Toward the controller: a report or request entering its log.
     Event(CtrlEvent),
-    /// From the controller: a decision for a host or switch to carry out.
-    Action(CtrlAction),
+    /// From the controller: a decision for a host or switch to carry out,
+    /// fenced by the emitting leader's epoch.
+    Action {
+        /// Raft term of the leader that emitted the action.
+        epoch: u64,
+        /// The decision itself.
+        action: CtrlAction,
+    },
     /// A datagram relayed through the controller (forwarding fallback).
     Forward(Datagram),
+    /// Consensus traffic between controller replicas.
+    Raft {
+        /// Sending replica id.
+        from: u32,
+        /// The Raft message.
+        msg: RaftMsg,
+    },
+    /// A host control request that expects an [`MgmtFrame::Ack`]; `seq` is
+    /// the host's retry-correlation number.
+    Req {
+        /// Host-chosen correlation number, echoed in the reply.
+        seq: u64,
+        /// The request entering the controller log.
+        ev: CtrlEvent,
+    },
+    /// Leader acknowledgement that request `seq` has *committed*.
+    Ack {
+        /// Correlation number of the acknowledged request.
+        seq: u64,
+    },
+    /// A non-leader replica pointing the host at its best leader guess.
+    Redirect {
+        /// Correlation number of the redirected request.
+        seq: u64,
+        /// Replica id believed to be the leader.
+        leader: u32,
+    },
 }
 
 impl MgmtFrame {
@@ -42,13 +82,33 @@ impl MgmtFrame {
                 b.put_u8(0);
                 b.extend_from_slice(&ev.encode());
             }
-            MgmtFrame::Action(a) => {
+            MgmtFrame::Action { epoch, action } => {
                 b.put_u8(1);
-                encode_action(a, &mut b);
+                b.put_u64(*epoch);
+                encode_action(action, &mut b);
             }
             MgmtFrame::Forward(d) => {
                 b.put_u8(2);
                 b.extend_from_slice(&d.encode());
+            }
+            MgmtFrame::Raft { from, msg } => {
+                b.put_u8(3);
+                b.put_u32(*from);
+                encode_raft(msg, &mut b);
+            }
+            MgmtFrame::Req { seq, ev } => {
+                b.put_u8(4);
+                b.put_u64(*seq);
+                b.extend_from_slice(&ev.encode());
+            }
+            MgmtFrame::Ack { seq } => {
+                b.put_u8(5);
+                b.put_u64(*seq);
+            }
+            MgmtFrame::Redirect { seq, leader } => {
+                b.put_u8(6);
+                b.put_u64(*seq);
+                b.put_u32(*leader);
             }
         }
         b.freeze()
@@ -57,17 +117,132 @@ impl MgmtFrame {
     /// Decode a frame produced by [`encode`](Self::encode).
     pub fn decode(mut buf: Bytes) -> onepipe_types::Result<Self> {
         use onepipe_types::Error;
-        if buf.remaining() < 1 {
-            return Err(Error::Truncated { needed: 1, got: 0 });
-        }
+        let need = |buf: &Bytes, n: usize| -> onepipe_types::Result<()> {
+            if buf.remaining() < n {
+                Err(Error::Truncated { needed: n, got: buf.remaining() })
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 1)?;
         let tag = buf.get_u8();
         Ok(match tag {
             0 => MgmtFrame::Event(CtrlEvent::decode(buf)?),
-            1 => MgmtFrame::Action(decode_action(buf)?),
+            1 => {
+                need(&buf, 8)?;
+                let epoch = buf.get_u64();
+                MgmtFrame::Action { epoch, action: decode_action(buf)? }
+            }
             2 => MgmtFrame::Forward(Datagram::decode(buf)?),
+            3 => {
+                need(&buf, 4)?;
+                let from = buf.get_u32();
+                MgmtFrame::Raft { from, msg: decode_raft(&mut buf)? }
+            }
+            4 => {
+                need(&buf, 8)?;
+                let seq = buf.get_u64();
+                MgmtFrame::Req { seq, ev: CtrlEvent::decode(buf)? }
+            }
+            5 => {
+                need(&buf, 8)?;
+                MgmtFrame::Ack { seq: buf.get_u64() }
+            }
+            6 => {
+                need(&buf, 8 + 4)?;
+                MgmtFrame::Redirect { seq: buf.get_u64(), leader: buf.get_u32() }
+            }
             other => return Err(Error::BadOpcode(other)),
         })
     }
+}
+
+fn encode_raft(m: &RaftMsg, b: &mut BytesMut) {
+    match m {
+        RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
+            b.put_u8(0);
+            b.put_u64(*term);
+            b.put_u64(*last_log_index);
+            b.put_u64(*last_log_term);
+        }
+        RaftMsg::Vote { term, granted } => {
+            b.put_u8(1);
+            b.put_u64(*term);
+            b.put_u8(*granted as u8);
+        }
+        RaftMsg::Append { term, prev_log_index, prev_log_term, entries, leader_commit } => {
+            b.put_u8(2);
+            b.put_u64(*term);
+            b.put_u64(*prev_log_index);
+            b.put_u64(*prev_log_term);
+            b.put_u64(*leader_commit);
+            b.put_u32(entries.len() as u32);
+            for e in entries {
+                b.put_u64(e.term);
+                b.put_u32(e.data.len() as u32);
+                b.extend_from_slice(&e.data);
+            }
+        }
+        RaftMsg::AppendResp { term, ok, match_index } => {
+            b.put_u8(3);
+            b.put_u64(*term);
+            b.put_u8(*ok as u8);
+            b.put_u64(*match_index);
+        }
+    }
+}
+
+fn decode_raft(buf: &mut Bytes) -> onepipe_types::Result<RaftMsg> {
+    use onepipe_types::Error;
+    let need = |buf: &Bytes, n: usize| -> onepipe_types::Result<()> {
+        if buf.remaining() < n {
+            Err(Error::Truncated { needed: n, got: buf.remaining() })
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        0 => {
+            need(buf, 24)?;
+            RaftMsg::RequestVote {
+                term: buf.get_u64(),
+                last_log_index: buf.get_u64(),
+                last_log_term: buf.get_u64(),
+            }
+        }
+        1 => {
+            need(buf, 9)?;
+            RaftMsg::Vote { term: buf.get_u64(), granted: buf.get_u8() != 0 }
+        }
+        2 => {
+            need(buf, 36)?;
+            let term = buf.get_u64();
+            let prev_log_index = buf.get_u64();
+            let prev_log_term = buf.get_u64();
+            let leader_commit = buf.get_u64();
+            let n = buf.get_u32() as usize;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 12)?;
+                let term = buf.get_u64();
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                entries.push(LogEntry { term, data: buf.split_to(len).to_vec() });
+            }
+            RaftMsg::Append { term, prev_log_index, prev_log_term, entries, leader_commit }
+        }
+        3 => {
+            need(buf, 17)?;
+            RaftMsg::AppendResp {
+                term: buf.get_u64(),
+                ok: buf.get_u8() != 0,
+                match_index: buf.get_u64(),
+            }
+        }
+        other => return Err(Error::BadOpcode(other)),
+    })
 }
 
 fn encode_action(a: &CtrlAction, b: &mut BytesMut) {
@@ -178,17 +353,54 @@ mod tests {
                 at: 678,
             }),
             MgmtFrame::Event(CtrlEvent::CallbackComplete { announce_id: 2, from: ProcessId(1) }),
-            MgmtFrame::Action(CtrlAction::Announce {
-                id: 7,
-                to: ProcessId(3),
-                failures: vec![(ProcessId(2), ts(99)), (ProcessId(5), ts(100))],
-            }),
-            MgmtFrame::Action(CtrlAction::Resume { at: NodeId(0), input: NodeId(2) }),
-            MgmtFrame::Action(CtrlAction::RecoveryInfo {
-                to: ProcessId(1),
-                failures: vec![(ProcessId(2), ts(50))],
-                recalls: vec![(ProcessId(0), ts(49), 3)],
-            }),
+            MgmtFrame::Action {
+                epoch: 3,
+                action: CtrlAction::Announce {
+                    id: 7,
+                    to: ProcessId(3),
+                    failures: vec![(ProcessId(2), ts(99)), (ProcessId(5), ts(100))],
+                },
+            },
+            MgmtFrame::Action {
+                epoch: 9,
+                action: CtrlAction::Resume { at: NodeId(0), input: NodeId(2) },
+            },
+            MgmtFrame::Action {
+                epoch: 1,
+                action: CtrlAction::RecoveryInfo {
+                    to: ProcessId(1),
+                    failures: vec![(ProcessId(2), ts(50))],
+                    recalls: vec![(ProcessId(0), ts(49), 3)],
+                },
+            },
+            MgmtFrame::Raft {
+                from: 2,
+                msg: RaftMsg::RequestVote { term: 5, last_log_index: 9, last_log_term: 4 },
+            },
+            MgmtFrame::Raft { from: 0, msg: RaftMsg::Vote { term: 5, granted: true } },
+            MgmtFrame::Raft {
+                from: 1,
+                msg: RaftMsg::Append {
+                    term: 6,
+                    prev_log_index: 2,
+                    prev_log_term: 5,
+                    entries: vec![
+                        LogEntry { term: 6, data: b"abc".to_vec() },
+                        LogEntry { term: 6, data: vec![] },
+                    ],
+                    leader_commit: 2,
+                },
+            },
+            MgmtFrame::Raft {
+                from: 2,
+                msg: RaftMsg::AppendResp { term: 6, ok: false, match_index: 0 },
+            },
+            MgmtFrame::Req {
+                seq: 11,
+                ev: CtrlEvent::CallbackComplete { announce_id: 2, from: ProcessId(1) },
+            },
+            MgmtFrame::Ack { seq: 11 },
+            MgmtFrame::Redirect { seq: 12, leader: 1 },
             MgmtFrame::Forward(Datagram {
                 src: ProcessId(0),
                 dst: ProcessId(1),

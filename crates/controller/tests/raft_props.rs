@@ -1,0 +1,201 @@
+//! Adversarial property tests for the Raft module: a seeded hostile
+//! network delivers messages with arbitrary loss, duplication, and
+//! reordering, and the two safety properties of the paper's controller
+//! replication must hold throughout:
+//!
+//! * **Election safety** — at most one leader per term;
+//! * **Log matching** — committed prefixes never diverge across replicas.
+//!
+//! After the adversary stops (the network heals), the cluster must also
+//! recover: elect a leader and converge every replica onto the same
+//! committed log (liveness under eventual delivery).
+
+use onepipe_controller::raft::{LogEntry, RaftConfig, RaftMsg, RaftNode};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// SplitMix64 — the adversary's private randomness (the proptest shim
+/// supplies the seed).
+struct Adversary(u64);
+
+impl Adversary {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+struct HostileNet {
+    nodes: Vec<RaftNode>,
+    /// Messages in flight: (from, to, msg). The adversary picks delivery
+    /// order, drops, and duplicates from here.
+    pending: Vec<(u32, u32, RaftMsg)>,
+    /// Committed entries each replica has applied, in order.
+    applied: Vec<Vec<LogEntry>>,
+    /// Observed leader per term (election safety witness).
+    leaders_of_term: HashMap<u64, u32>,
+    /// Last term in which the healed phase wrote its no-op barrier.
+    noop_term: u64,
+    now: u64,
+}
+
+impl HostileNet {
+    fn new(n: u32) -> Self {
+        let cfg = RaftConfig { election_timeout: 1_000, heartbeat_interval: 200 };
+        let nodes: Vec<RaftNode> =
+            (0..n).map(|i| RaftNode::new(i, (0..n).filter(|&p| p != i).collect(), cfg)).collect();
+        HostileNet {
+            applied: vec![Vec::new(); nodes.len()],
+            nodes,
+            pending: Vec::new(),
+            leaders_of_term: HashMap::new(),
+            noop_term: 0,
+            now: 0,
+        }
+    }
+
+    fn check_invariants(&mut self) {
+        for node in &self.nodes {
+            if node.is_leader() {
+                let prev = self.leaders_of_term.entry(node.term()).or_insert_with(|| node.id());
+                assert_eq!(
+                    *prev,
+                    node.id(),
+                    "election safety violated: two leaders in term {}",
+                    node.term()
+                );
+            }
+        }
+        for i in 0..self.nodes.len() {
+            for e in self.nodes[i].take_committed() {
+                self.applied[i].push(e);
+            }
+        }
+        // Log matching: any two committed prefixes agree entry-for-entry.
+        for i in 0..self.applied.len() {
+            for j in (i + 1)..self.applied.len() {
+                let common = self.applied[i].len().min(self.applied[j].len());
+                assert_eq!(
+                    self.applied[i][..common],
+                    self.applied[j][..common],
+                    "log matching violated between replicas {i} and {j}"
+                );
+            }
+        }
+    }
+
+    /// One adversarial step: advance time, gather traffic, and let the
+    /// adversary deliver / drop / duplicate / reorder at will.
+    fn hostile_step(&mut self, adv: &mut Adversary, proposal_counter: &mut u64) {
+        self.now += 50;
+        for i in 0..self.nodes.len() {
+            for (to, m) in self.nodes[i].tick(self.now) {
+                self.pending.push((i as u32, to, m));
+            }
+            // Leaders occasionally propose so the logs are non-trivial.
+            if self.nodes[i].is_leader() && adv.below(4) == 0 {
+                *proposal_counter += 1;
+                self.nodes[i].propose(proposal_counter.to_le_bytes().to_vec());
+            }
+        }
+        // Deliver a random number of messages from random positions
+        // (reordering); each picked message may be dropped or duplicated.
+        let deliveries = adv.below(8);
+        for _ in 0..deliveries {
+            if self.pending.is_empty() {
+                break;
+            }
+            let idx = adv.below(self.pending.len());
+            let (from, to, msg) = self.pending.swap_remove(idx);
+            match adv.below(8) {
+                0 => {} // dropped
+                1 => {
+                    // duplicated: deliver now and leave a copy in flight
+                    self.deliver(from, to, msg.clone());
+                    self.pending.push((from, to, msg));
+                }
+                _ => self.deliver(from, to, msg),
+            }
+        }
+        // The adversary may also silently lose backlog (bounded queue).
+        while self.pending.len() > 256 {
+            let idx = adv.below(self.pending.len());
+            self.pending.swap_remove(idx);
+        }
+        self.check_invariants();
+    }
+
+    fn deliver(&mut self, from: u32, to: u32, msg: RaftMsg) {
+        for (rt, rm) in self.nodes[to as usize].on_message(from, msg, self.now) {
+            self.pending.push((to, rt, rm));
+        }
+    }
+
+    /// Healed phase: deliver everything promptly until quiescent.
+    fn healed_step(&mut self) {
+        self.now += 50;
+        for i in 0..self.nodes.len() {
+            for (to, m) in self.nodes[i].tick(self.now) {
+                self.pending.push((i as u32, to, m));
+            }
+            // Raft cannot commit prior-term entries without a current-term
+            // entry: give each healed leader one no-op barrier (the role
+            // NewEpoch plays in the replicated controller).
+            if self.nodes[i].is_leader() && self.nodes[i].term() > self.noop_term {
+                self.noop_term = self.nodes[i].term();
+                self.nodes[i].propose(Vec::new());
+            }
+        }
+        while let Some((from, to, msg)) = self.pending.pop() {
+            self.deliver(from, to, msg);
+        }
+        self.check_invariants();
+    }
+}
+
+proptest! {
+    #[test]
+    fn safety_under_loss_duplication_reordering(seed in any::<u64>()) {
+        let mut net = HostileNet::new(3);
+        let mut adv = Adversary(seed);
+        let mut proposals = 0u64;
+        for _ in 0..600 {
+            net.hostile_step(&mut adv, &mut proposals);
+        }
+        // Heal the network: liveness requires a leader to emerge and all
+        // replicas to converge on one committed log.
+        for _ in 0..400 {
+            net.healed_step();
+        }
+        let leaders = net.nodes.iter().filter(|n| n.is_leader()).count();
+        prop_assert_eq!(leaders, 1, "healed cluster must elect exactly one leader");
+        let max_applied = net.applied.iter().map(|a| a.len()).max().unwrap();
+        for (i, a) in net.applied.iter().enumerate() {
+            prop_assert_eq!(
+                a.len(), max_applied,
+                "replica {} did not converge after healing", i
+            );
+        }
+    }
+
+    #[test]
+    fn five_replica_safety_under_heavier_chaos(seed in any::<u64>()) {
+        let mut net = HostileNet::new(5);
+        let mut adv = Adversary(seed ^ 0x5EED);
+        let mut proposals = 0u64;
+        for _ in 0..400 {
+            net.hostile_step(&mut adv, &mut proposals);
+        }
+        for _ in 0..400 {
+            net.healed_step();
+        }
+        prop_assert_eq!(net.nodes.iter().filter(|n| n.is_leader()).count(), 1);
+    }
+}

@@ -184,6 +184,11 @@ pub struct Endpoint {
     failed: HashMap<ProcessId, Timestamp>,
     recalls: HashMap<u64, RecallState>,
     callbacks: HashMap<u64, CallbackState>,
+    /// Announcements fully handled and reported. A replicated controller
+    /// re-drives announcements across failover (at-least-once), so a
+    /// duplicate must not replay Discard/Recall or re-raise the app
+    /// callback — just re-send the possibly-lost CallbackComplete.
+    acked_announcements: HashSet<u64>,
     /// Statistics counters.
     pub stats: EndpointStats,
 }
@@ -218,6 +223,7 @@ impl Endpoint {
             failed: HashMap::new(),
             recalls: HashMap::new(),
             callbacks: HashMap::new(),
+            acked_announcements: HashSet::new(),
             stats: EndpointStats::default(),
         }
     }
@@ -999,6 +1005,17 @@ impl Endpoint {
         failures: &[(ProcessId, Timestamp)],
     ) {
         self.observe_clock(now);
+        // Duplicate delivery (controller failover re-drive): the work is
+        // done; only the completion report may have been lost. Re-ack.
+        if self.acked_announcements.contains(&announce_id) {
+            self.ctrl_out.push_back(CtrlRequest::CallbackComplete { announce_id });
+            return;
+        }
+        // Duplicate of an announcement still in progress: the callback
+        // completion will be reported once, when it finishes.
+        if self.callbacks.contains_key(&announce_id) {
+            return;
+        }
         // Register the callback before touching recall state: aborting a
         // scattering for one failed process can complete (via the
         // cancellation path) while a *later* process in the same
@@ -1144,6 +1161,7 @@ impl Endpoint {
         for (&id, cb) in self.callbacks.iter_mut() {
             if cb.app_done && cb.recalls.is_empty() && !cb.reported {
                 cb.reported = true;
+                self.acked_announcements.insert(id);
                 self.ctrl_out.push_back(CtrlRequest::CallbackComplete { announce_id: id });
             }
         }
@@ -1497,6 +1515,37 @@ mod tests {
         a.complete_failure_callback(1);
         let reqs: Vec<_> = std::iter::from_fn(|| a.poll_ctrl()).collect();
         assert!(reqs.iter().any(|r| matches!(r, CtrlRequest::CallbackComplete { announce_id: 1 })));
+    }
+
+    #[test]
+    fn duplicate_announcement_reacks_without_replaying() {
+        let (mut a, _) = two();
+        a.on_failure_announcement(ts(10), 1, &[(ProcessId(2), ts(5))]);
+        let evs: Vec<_> = std::iter::from_fn(|| a.poll_event()).collect();
+        assert_eq!(evs.iter().filter(|e| matches!(e, UserEvent::ProcessFailed { .. })).count(), 1);
+        // Duplicate while the callback is still in progress: swallowed.
+        a.on_failure_announcement(ts(20), 1, &[(ProcessId(2), ts(5))]);
+        assert!(a.poll_event().is_none(), "no second ProcessFailed callback");
+        a.complete_failure_callback(1);
+        let reqs: Vec<_> = std::iter::from_fn(|| a.poll_ctrl()).collect();
+        assert_eq!(
+            reqs.iter()
+                .filter(|r| matches!(r, CtrlRequest::CallbackComplete { announce_id: 1 }))
+                .count(),
+            1
+        );
+        // Duplicate after completion (failover re-drive): the lost
+        // CallbackComplete is re-sent, nothing else happens.
+        a.on_failure_announcement(ts(30), 1, &[(ProcessId(2), ts(5))]);
+        assert!(a.poll_event().is_none());
+        let reqs: Vec<_> = std::iter::from_fn(|| a.poll_ctrl()).collect();
+        assert_eq!(
+            reqs.iter()
+                .filter(|r| matches!(r, CtrlRequest::CallbackComplete { announce_id: 1 }))
+                .count(),
+            1,
+            "duplicate announcement re-acks"
+        );
     }
 
     #[test]

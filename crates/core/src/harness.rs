@@ -7,18 +7,30 @@
 //! * the fat-tree topology and switch barrier logic (data plane),
 //! * one [`HostLogic`] per server with its endpoints and synchronized
 //!   clock,
-//! * the controller (§5.2) connected over a modelled management network
-//!   with a configurable one-way delay,
+//! * a **replicated controller** (§5.2): [`ClusterConfig::ctrl_replicas`]
+//!   [`ReplicatedController`] replicas exchanging Raft traffic over the
+//!   modelled management network, of which the elected leader drives
+//!   recovery; controller replicas can be crashed or partitioned
+//!   mid-recovery and a new leader re-drives in-flight failures,
 //!
 //! and interleaves simulator events with management-plane deliveries in
-//! deterministic time order.
+//! deterministic time order. Control requests from switches and hosts are
+//! re-driven into the replicated log with capped exponential backoff
+//! (at-least-once; the log's state machine dedupes), and every controller
+//! action carries the emitting leader's epoch so hosts and switches fence
+//! off deposed leaders.
 
 use crate::config::EndpointConfig;
 use crate::endpoint::Endpoint;
 use crate::events::CtrlRequest;
 use crate::simhost::{AppHook, DeliveryRecord, HostLogic};
 use onepipe_clock::{ClockFleet, SyncDiscipline};
-use onepipe_controller::protocol::{ControllerCore, CtrlAction, CtrlEvent, FailureDomains};
+use onepipe_controller::protocol::{
+    ActionDest, ControllerCore, CtrlAction, CtrlEvent, FailureDomains,
+};
+use onepipe_controller::raft::{RaftConfig, RaftMsg};
+use onepipe_controller::replicated::ReplicatedController;
+use onepipe_controller::retry::RetryPolicy;
 use onepipe_netsim::engine::Sim;
 use onepipe_netsim::topology::{FatTreeParams, NodeRole, Topology};
 use onepipe_netsim::traffic::BackgroundTraffic;
@@ -32,7 +44,7 @@ use onepipe_types::time::Timestamp;
 use onepipe_types::wire::Datagram;
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
 /// Cluster-level configuration.
@@ -59,6 +71,9 @@ pub struct ClusterConfig {
     /// paper reports recovery cost growing 3–15 µs per host because the
     /// controller "needs to contact all processes in the system" (§7.2).
     pub mgmt_serialize: u64,
+    /// Number of controller replicas (§5.2: "replicated using Paxos or
+    /// Raft"). With 3 replicas the service survives one crash.
+    pub ctrl_replicas: usize,
 }
 
 impl ClusterConfig {
@@ -74,6 +89,7 @@ impl ClusterConfig {
             seed: 2021,
             mgmt_delay: 5_000,
             mgmt_serialize: 3_000,
+            ctrl_replicas: 3,
         }
     }
 
@@ -105,6 +121,11 @@ pub trait ChaosHook {
         _commit: Timestamp,
     ) {
     }
+
+    /// A controller action reached its destination (after epoch fencing).
+    /// `epoch` is the Raft term of the leader that emitted it; the oracle
+    /// uses this to check exactly-once delivery per epoch.
+    fn on_ctrl_action(&mut self, _at: u64, _epoch: u64, _action: &CtrlAction) {}
 }
 
 /// Default spacing of chaos barrier snapshots, ns.
@@ -113,9 +134,36 @@ const DEFAULT_CHAOS_SAMPLE_STRIDE: u64 = 10_000;
 /// A management-network message in flight.
 #[derive(Debug)]
 enum MgmtMsg {
-    Announce { to: ProcessId, id: u64, failures: Vec<(ProcessId, Timestamp)> },
-    Resume { at: NodeId, input: NodeId },
+    /// A controller action travelling leader → host/switch, tagged with
+    /// the emitting leader's epoch (Raft term) for stale-leader fencing.
+    Action { epoch: u64, action: CtrlAction },
+    /// Raft traffic between controller replicas.
+    Raft { from: u32, to: u32, msg: RaftMsg },
+    /// A control request travelling switch/host → controller cluster.
+    /// Re-driven with capped exponential backoff until a leader accepts
+    /// it — at-least-once delivery into the replicated log, which the
+    /// state machine deduplicates.
+    ToCtrl { ev: CtrlEvent, attempt: u32 },
+    /// Forwarded datagram (controller fallback relay).
     Forward { dgram: Datagram },
+    /// Chaos: crash controller replica `replica` at delivery time.
+    CtrlCrash { replica: usize },
+    /// Chaos: partition replica `replica` off the management network
+    /// until absolute time `until`.
+    CtrlPartition { replica: usize, until: u64 },
+}
+
+/// One controller replica plus its harness-side fault state.
+struct CtrlReplica {
+    ctrl: ReplicatedController,
+    alive: bool,
+    partitioned_until: u64,
+}
+
+impl CtrlReplica {
+    fn reachable(&self, now: u64) -> bool {
+        self.alive && now >= self.partitioned_until
+    }
 }
 
 struct MgmtEntry {
@@ -155,7 +203,20 @@ pub struct Cluster {
     pub user_events: Rc<RefCell<Vec<(u64, ProcessId, crate::events::UserEvent)>>>,
     switch_events: Rc<RefCell<Vec<SwitchEvent>>>,
     ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
-    controller: ControllerCore,
+    replicas: Vec<CtrlReplica>,
+    /// Next time the controller replicas run their periodic tick (Raft
+    /// timeouts + Determine-window expiry). Lets the per-event fast path
+    /// skip the control plane entirely between ticks.
+    next_ctrl_tick: u64,
+    ctrl_tick_interval: u64,
+    /// Backoff policy for [`MgmtMsg::ToCtrl`] re-delivery.
+    ctrl_retry: RetryPolicy,
+    /// Highest controller epoch seen per process / per switch — actions
+    /// from lower epochs (a deposed leader) are fenced off.
+    proc_epoch: HashMap<ProcessId, u64>,
+    switch_epoch: HashMap<NodeId, u64>,
+    /// Highest term observed with a leader, for election counting.
+    last_leader_term: u64,
     mgmt: BinaryHeap<Reverse<MgmtEntry>>,
     mgmt_seq: u64,
     mgmt_delay: u64,
@@ -226,7 +287,30 @@ impl Cluster {
         }
 
         let domains = build_failure_domains(&topo, &procs);
-        let controller = ControllerCore::new(domains, procs.all());
+        // Raft timing in units of the management-network delay: elections
+        // resolve within ~10 one-way delays, heartbeats every 2.
+        let mgmt_delay = cfg.mgmt_delay.max(1);
+        let raft_cfg =
+            RaftConfig { election_timeout: 10 * mgmt_delay, heartbeat_interval: 2 * mgmt_delay };
+        let n_ctrl = cfg.ctrl_replicas.max(1) as u32;
+        let replicas = (0..n_ctrl)
+            .map(|i| CtrlReplica {
+                ctrl: ReplicatedController::new(
+                    i,
+                    (0..n_ctrl).filter(|&p| p != i).collect(),
+                    raft_cfg,
+                    domains.clone(),
+                    procs.all(),
+                ),
+                alive: true,
+                partitioned_until: 0,
+            })
+            .collect();
+        // Re-drive control requests for ~10 backoff rounds; the span
+        // comfortably covers a leader election (10 one-way delays) plus
+        // commit latency.
+        let ctrl_retry =
+            RetryPolicy { base: 2 * mgmt_delay, cap: 20 * mgmt_delay, max_attempts: 10 };
 
         Cluster {
             sim,
@@ -236,7 +320,13 @@ impl Cluster {
             user_events,
             switch_events,
             ctrl_outbox,
-            controller,
+            replicas,
+            next_ctrl_tick: 0,
+            ctrl_tick_interval: mgmt_delay,
+            ctrl_retry,
+            proc_epoch: HashMap::new(),
+            switch_epoch: HashMap::new(),
+            last_leader_term: 0,
             mgmt: BinaryHeap::new(),
             mgmt_seq: 0,
             mgmt_delay: cfg.mgmt_delay,
@@ -442,16 +532,57 @@ impl Cluster {
         })
     }
 
+    /// The authoritative controller state machine to report from: the
+    /// alive leader when one exists, otherwise any alive replica (they
+    /// agree on everything committed), otherwise replica 0's last state.
+    fn authoritative_core(&self) -> &ControllerCore {
+        let idx = self
+            .controller_leader()
+            .or_else(|| self.replicas.iter().position(|r| r.alive))
+            .unwrap_or(0);
+        self.replicas[idx].ctrl.core()
+    }
+
+    /// The index of the current alive controller leader, if any. With
+    /// competing stale leaders (possible transiently across a partition)
+    /// the highest epoch wins.
+    pub fn controller_leader(&self) -> Option<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive && r.ctrl.is_leader())
+            .max_by_key(|(_, r)| r.ctrl.epoch())
+            .map(|(i, _)| i)
+    }
+
+    /// The highest controller epoch (Raft term) among alive replicas.
+    pub fn controller_epoch(&self) -> u64 {
+        self.replicas.iter().filter(|r| r.alive).map(|r| r.ctrl.epoch()).max().unwrap_or(0)
+    }
+
+    /// Crash controller replica `replica` at absolute time `at`.
+    pub fn crash_controller(&mut self, at: u64, replica: usize) {
+        assert!(replica < self.replicas.len());
+        self.push_mgmt(at, MgmtMsg::CtrlCrash { replica });
+    }
+
+    /// Partition controller replica `replica` off the management network
+    /// for `duration` ns starting at absolute time `at`.
+    pub fn partition_controller(&mut self, at: u64, replica: usize, duration: u64) {
+        assert!(replica < self.replicas.len());
+        self.push_mgmt(at, MgmtMsg::CtrlPartition { replica, until: at.saturating_add(duration) });
+    }
+
     /// The controller's view of failed processes.
     pub fn failed_processes(&self) -> Vec<(ProcessId, Timestamp)> {
-        self.controller.failures().collect()
+        self.authoritative_core().failures().collect()
     }
 
     /// Failure-handling still in flight at the controller: for each pending
     /// failure, `(announce_id, expected, completed)` callback sets
     /// (telemetry / chaos triage).
     pub fn controller_pending(&self) -> Vec<(Option<u64>, Vec<ProcessId>, Vec<ProcessId>)> {
-        self.controller
+        self.authoritative_core()
             .pending_failures()
             .map(|p| {
                 (
@@ -546,99 +677,171 @@ impl Cluster {
 
     fn pump_control(&mut self) {
         // Fast path: the harness pumps once per simulated event, so the
-        // common no-op case (no detect reports, no endpoint requests, no
-        // failure handling in flight) must not pay for drains and
-        // controller ticks.
-        if !self.controller.has_pending()
+        // common case (no detect reports, no endpoint requests, and the
+        // next replica tick still in the future) must not pay for drains
+        // or controller work. Raft traffic itself rides the management
+        // heap and is handled in `apply_mgmt`, not here.
+        let now = self.sim.now();
+        if now < self.next_ctrl_tick
             && self.switch_events.borrow().is_empty()
             && self.ctrl_outbox.borrow().is_empty()
         {
             return;
         }
-        let now = self.sim.now();
-        // Switch detect reports.
+        // Switch detect reports: one management hop to the controller
+        // cluster, then re-driven until a leader commits them.
         let events: Vec<SwitchEvent> = self.switch_events.borrow_mut().drain(..).collect();
-        let mut actions = Vec::new();
         for ev in events {
             let SwitchEvent::InLinkDead { switch, from, last_commit, at } = ev;
-            actions.extend(
-                self.controller.apply(
-                    CtrlEvent::Detect { reporter: switch, dead: from, last_commit, at },
-                    now,
-                ),
+            self.push_mgmt(
+                now + self.mgmt_delay,
+                MgmtMsg::ToCtrl {
+                    ev: CtrlEvent::Detect { reporter: switch, dead: from, last_commit, at },
+                    attempt: 0,
+                },
             );
         }
-        // Endpoint control requests.
+        // Endpoint control requests: same path.
         let reqs: Vec<(ProcessId, CtrlRequest)> = self.ctrl_outbox.borrow_mut().drain(..).collect();
         for (from, req) in reqs {
-            match req {
+            let ev = match req {
                 CtrlRequest::CallbackComplete { announce_id } => {
-                    actions.extend(
-                        self.controller
-                            .apply(CtrlEvent::CallbackComplete { announce_id, from }, now),
-                    );
+                    CtrlEvent::CallbackComplete { announce_id, from }
                 }
                 CtrlRequest::UndeliverableRecall { to, ts, seq } => {
-                    actions.extend(
-                        self.controller.apply(
-                            CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from },
-                            now,
-                        ),
-                    );
+                    CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from }
                 }
                 CtrlRequest::Forward { dgram } => {
-                    // Controller relays after two management hops.
+                    // Controller relays after two management hops. Best
+                    // effort: the relay does not touch the replicated log.
                     self.push_mgmt(now + 2 * self.mgmt_delay, MgmtMsg::Forward { dgram });
+                    continue;
                 }
-            }
+            };
+            self.push_mgmt(now + self.mgmt_delay, MgmtMsg::ToCtrl { ev, attempt: 0 });
         }
-        // Window expiry.
-        actions.extend(self.controller.tick(now));
+        // Periodic replica tick: Raft timeouts/heartbeats and Determine-
+        // window expiry. Partitioned replicas keep ticking (their local
+        // clock runs) but their traffic is dropped at the edge.
+        if now >= self.next_ctrl_tick {
+            self.next_ctrl_tick = now + self.ctrl_tick_interval;
+            for i in 0..self.replicas.len() {
+                if !self.replicas[i].alive {
+                    continue;
+                }
+                let (msgs, actions) = self.replicas[i].ctrl.tick(now);
+                let epoch = self.replicas[i].ctrl.epoch();
+                self.route_raft(now, i, msgs);
+                self.route_actions(now, i, epoch, actions);
+            }
+            self.note_leadership();
+        }
+    }
+
+    /// Queue Raft messages emitted by replica `from`; dropped wholesale if
+    /// the emitter is dead or partitioned.
+    fn route_raft(&mut self, now: u64, from: usize, msgs: Vec<(u32, RaftMsg)>) {
+        if !self.replicas[from].reachable(now) {
+            return;
+        }
+        for (to, msg) in msgs {
+            self.push_mgmt(now + self.mgmt_delay, MgmtMsg::Raft { from: from as u32, to, msg });
+        }
+    }
+
+    /// Queue controller actions emitted by replica `from`, tagged with its
+    /// epoch. Announcements pay the per-message serialization cost
+    /// (contacting every correct process costs CPU/network time, §7.2).
+    fn route_actions(&mut self, now: u64, from: usize, epoch: u64, actions: Vec<CtrlAction>) {
+        if actions.is_empty() || !self.replicas[from].reachable(now) {
+            return;
+        }
         let mut out_idx = 0u64;
-        for a in actions {
-            match a {
-                CtrlAction::Announce { id, to, failures } => {
-                    // Controller sends serialize: contacting every correct
-                    // process costs per-message CPU/network time.
+        for action in actions {
+            let delay = match action.dest() {
+                ActionDest::Process(_) => {
                     out_idx += 1;
-                    self.push_mgmt(
-                        now + self.mgmt_delay + out_idx * self.mgmt_serialize,
-                        MgmtMsg::Announce { to, id, failures },
-                    );
+                    self.mgmt_delay + out_idx * self.mgmt_serialize
                 }
-                CtrlAction::Resume { at: site, input } => {
-                    self.push_mgmt(now + self.mgmt_delay, MgmtMsg::Resume { at: site, input });
-                }
-                CtrlAction::RecoveryInfo { .. } => { /* receiver recovery: not routed in-sim */ }
+                ActionDest::Switch(_) => self.mgmt_delay,
+            };
+            self.push_mgmt(now + delay, MgmtMsg::Action { epoch, action });
+        }
+    }
+
+    /// Count leader elections: the first time any alive replica is seen
+    /// leading a term newer than every previously-led term.
+    fn note_leadership(&mut self) {
+        for r in &self.replicas {
+            if r.alive && r.ctrl.is_leader() && r.ctrl.epoch() > self.last_leader_term {
+                self.last_leader_term = r.ctrl.epoch();
+                self.sim.stats.ctrl_elections += 1;
             }
         }
     }
 
+    /// The replica to submit control requests to: a reachable leader,
+    /// preferring the highest epoch if stale leaders linger.
+    fn reachable_leader(&self, now: u64) -> Option<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.reachable(now) && r.ctrl.is_leader())
+            .max_by_key(|(_, r)| r.ctrl.epoch())
+            .map(|(i, _)| i)
+    }
+
     fn apply_mgmt(&mut self, msg: MgmtMsg) {
         match msg {
-            MgmtMsg::Announce { to, id, failures } => {
-                let Some(host) = self.procs.host_of(to) else { return };
-                let node = self.topo.host_node(host);
-                self.sim.with_node(node, |logic, ctx| {
-                    logic
-                        .as_any_mut()
-                        .unwrap()
-                        .downcast_mut::<HostLogic>()
-                        .unwrap()
-                        .deliver_announcement(ctx, to, id, &failures);
-                });
+            MgmtMsg::Action { epoch, action } => self.apply_ctrl_action(epoch, action),
+            MgmtMsg::Raft { from, to, msg } => {
+                let now = self.sim.now();
+                let to = to as usize;
+                // In-flight messages from a replica that died after sending
+                // still arrive; a dead or partitioned *receiver* does not
+                // take delivery.
+                if !self.replicas[to].reachable(now) {
+                    return;
+                }
+                let (msgs, actions) = self.replicas[to].ctrl.on_raft_msg(from, msg, now);
+                let epoch = self.replicas[to].ctrl.epoch();
+                self.route_raft(now, to, msgs);
+                self.route_actions(now, to, epoch, actions);
+                self.note_leadership();
             }
-            MgmtMsg::Resume { at, input } => {
-                // The reporting switch drops exactly the reported dead
-                // input link from its commit aggregation (§5.2 Resume).
-                self.sim.with_node(at, |logic, ctx| {
-                    if let Some(any) = logic.as_any_mut() {
-                        if let Some(sw) = any.downcast_mut::<SwitchLogic>() {
-                            sw.remove_commit_input(input);
-                            let _ = ctx;
-                        }
-                    }
-                });
+            MgmtMsg::ToCtrl { ev, attempt } => {
+                let now = self.sim.now();
+                let accepted = match self.reachable_leader(now) {
+                    Some(i) => self.replicas[i].ctrl.submit(ev.clone()),
+                    None => false,
+                };
+                // Even an accepted proposal can die with its leader before
+                // committing, so requests are re-driven with capped
+                // exponential backoff until the budget runs out; the
+                // replicated state machine deduplicates (at-least-once on
+                // the wire, exactly-once in effect).
+                let next = attempt + 1;
+                if !accepted {
+                    self.sim.stats.ctrl_retries += 1;
+                }
+                if !self.ctrl_retry.exhausted(next) {
+                    let delay = self.ctrl_retry.delay(next).max(self.mgmt_delay);
+                    self.push_mgmt(now + delay, MgmtMsg::ToCtrl { ev, attempt: next });
+                } else if !accepted {
+                    self.sim.stats.ctrl_drops += 1;
+                }
+            }
+            MgmtMsg::CtrlCrash { replica } => {
+                if self.replicas[replica].alive {
+                    self.replicas[replica].alive = false;
+                    self.sim.stats.faults_ctrl_crashes += 1;
+                }
+            }
+            MgmtMsg::CtrlPartition { replica, until } => {
+                if self.replicas[replica].alive {
+                    self.replicas[replica].partitioned_until = until;
+                    self.sim.stats.faults_ctrl_partitions += 1;
+                }
             }
             MgmtMsg::Forward { dgram } => {
                 let Some(host) = self.procs.host_of(dgram.dst) else { return };
@@ -652,6 +855,59 @@ impl Cluster {
                         .deliver_forwarded(ctx, dgram);
                 });
             }
+        }
+    }
+
+    /// Deliver an epoch-tagged controller action to its destination,
+    /// fencing off actions from deposed leaders.
+    fn apply_ctrl_action(&mut self, epoch: u64, action: CtrlAction) {
+        let now = self.sim.now();
+        let fenced = match action.dest() {
+            ActionDest::Process(p) => {
+                let e = self.proc_epoch.entry(p).or_insert(0);
+                let stale = epoch < *e;
+                *e = (*e).max(epoch);
+                stale
+            }
+            ActionDest::Switch(s) => {
+                let e = self.switch_epoch.entry(s).or_insert(0);
+                let stale = epoch < *e;
+                *e = (*e).max(epoch);
+                stale
+            }
+        };
+        if fenced {
+            return;
+        }
+        if let Some(hook) = self.chaos.clone() {
+            hook.borrow_mut().on_ctrl_action(now, epoch, &action);
+        }
+        match action {
+            CtrlAction::Announce { id, to, failures } => {
+                let Some(host) = self.procs.host_of(to) else { return };
+                let node = self.topo.host_node(host);
+                self.sim.with_node(node, |logic, ctx| {
+                    logic
+                        .as_any_mut()
+                        .unwrap()
+                        .downcast_mut::<HostLogic>()
+                        .unwrap()
+                        .deliver_announcement(ctx, to, id, &failures);
+                });
+            }
+            CtrlAction::Resume { at, input } => {
+                // The reporting switch drops exactly the reported dead
+                // input link from its commit aggregation (§5.2 Resume).
+                self.sim.with_node(at, |logic, ctx| {
+                    if let Some(any) = logic.as_any_mut() {
+                        if let Some(sw) = any.downcast_mut::<SwitchLogic>() {
+                            sw.remove_commit_input(input);
+                            let _ = ctx;
+                        }
+                    }
+                });
+            }
+            CtrlAction::RecoveryInfo { .. } => { /* receiver recovery: not routed in-sim */ }
         }
     }
 }
@@ -817,6 +1073,57 @@ mod tests {
             d.iter().any(|r| r.msg.payload == Bytes::from_static(b"post")),
             "reliable delivery must resume after recovery"
         );
+    }
+
+    #[test]
+    fn controller_failover_mid_recovery_still_resumes() {
+        let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
+        c.run_for(100 * MICROS);
+        let old_leader = c.controller_leader().expect("initial election completed");
+        assert!(c.sim.stats.ctrl_elections >= 1);
+        // Kill host 3, then kill the controller leader while the failure
+        // is still being handled (detect/announce in flight).
+        let t = c.sim.now();
+        c.crash_host(t + 1, HostId(3));
+        c.crash_controller(t + 40 * MICROS, old_leader);
+        c.run_for(800 * MICROS);
+        assert_eq!(c.sim.stats.faults_ctrl_crashes, 1);
+        // A new leader finished the recovery the old one started.
+        let new_leader = c.controller_leader().expect("new leader elected");
+        assert_ne!(new_leader, old_leader);
+        let failed = c.failed_processes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, ProcessId(3));
+        assert!(c.controller_pending().is_empty(), "recovery completed across failover");
+        // Reliable sends work again after Resume.
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), "post")], true).unwrap();
+        c.run_for(300 * MICROS);
+        let d = c.take_deliveries();
+        assert!(
+            d.iter().any(|r| r.msg.payload == Bytes::from_static(b"post")),
+            "reliable delivery must resume after controller failover"
+        );
+    }
+
+    #[test]
+    fn controller_partition_heals_and_recovery_completes() {
+        let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
+        c.run_for(100 * MICROS);
+        let leader = c.controller_leader().expect("initial election completed");
+        let t = c.sim.now();
+        c.crash_host(t + 1, HostId(3));
+        // Partition the leader off the management network for 150 µs
+        // right as the failure reports arrive.
+        c.partition_controller(t + 10 * MICROS, leader, 150 * MICROS);
+        c.run_for(900 * MICROS);
+        assert_eq!(c.sim.stats.faults_ctrl_partitions, 1);
+        let failed = c.failed_processes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, ProcessId(3));
+        assert!(c.controller_pending().is_empty(), "recovery completed despite the partition");
+        c.send(ProcessId(0), vec![Message::new(ProcessId(1), "post")], true).unwrap();
+        c.run_for(300 * MICROS);
+        assert!(c.take_deliveries().iter().any(|r| r.msg.payload == Bytes::from_static(b"post")));
     }
 
     #[test]

@@ -25,13 +25,30 @@ pub struct Stats {
     pub faults_link_flaps: u64,
     /// Injected loss-rate mutations (per-link or global) executed.
     pub faults_loss_bursts: u64,
+    /// Injected controller-replica crashes executed by the harness.
+    pub faults_ctrl_crashes: u64,
+    /// Injected controller-replica management-network partitions executed.
+    pub faults_ctrl_partitions: u64,
+    /// Controller leader elections observed (a new Raft term acquiring a
+    /// leader), including the initial election.
+    pub ctrl_elections: u64,
+    /// Control requests re-driven because no controller leader accepted
+    /// them on a delivery attempt.
+    pub ctrl_retries: u64,
+    /// Control requests dropped after exhausting their retry budget
+    /// without ever reaching a leader.
+    pub ctrl_drops: u64,
 }
 
 impl Stats {
     /// Total injected faults of all kinds — lets campaign reports
     /// cross-check injected faults against observed drops.
     pub fn faults_injected(&self) -> u64 {
-        self.faults_crashes + self.faults_link_flaps + self.faults_loss_bursts
+        self.faults_crashes
+            + self.faults_link_flaps
+            + self.faults_loss_bursts
+            + self.faults_ctrl_crashes
+            + self.faults_ctrl_partitions
     }
 }
 

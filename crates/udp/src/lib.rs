@@ -10,14 +10,29 @@
 //! * a *soft switch* process plays the ToR: it forwards datagrams between
 //!   processes, aggregates barrier timestamps per input link with the
 //!   same [`BarrierAggregator`] the simulated switches use, beacons every
-//!   interval, and reports input links that fall silent;
-//! * a *controller* task runs the leader-side [`ControllerCore`]
-//!   (replication stays in-proc) over the management plane: it consumes
-//!   the switch's dead-link reports and the runtime's `CtrlRequest`s as
-//!   [`MgmtFrame`]s, relays forwarded datagrams, and delivers
-//!   Announce/Resume decisions back — so reliable sends, recall, and
-//!   host-failure recovery (§5.2) work over loopback UDP exactly as they
-//!   do on the simulator.
+//!   interval, and re-reports input links that fall silent until the
+//!   controller resumes them;
+//! * a **replicated controller**: [`UdpCluster::with_full_options`]
+//!   spawns N controller replica processes, each a socket + thread
+//!   running a [`ReplicatedController`] — Raft traffic travels as
+//!   [`MgmtFrame::Raft`] datagrams between replicas, and only the elected
+//!   leader emits Announce/Resume decisions (epoch-tagged so hosts and
+//!   the switch fence off deposed leaders). Replicas can be killed at
+//!   runtime ([`UdpCluster::kill_controller`]); the survivors elect a new
+//!   leader that re-drives in-flight recoveries.
+//!
+//! Host control requests are **not** fire-and-forget: each request is a
+//! [`MgmtFrame::Req`] retried with capped exponential backoff
+//! ([`RetryPolicy`]) until the leader acknowledges it *on commit*
+//! ([`MgmtFrame::Ack`]); non-leader replicas answer with
+//! [`MgmtFrame::Redirect`] toward their best leader guess.
+//!
+//! Degradation contract: while no controller leader exists, best-effort
+//! traffic keeps flowing (beacons and the data plane never touch the
+//! controller) and failure-free reliable traffic commits normally; only
+//! *recovery* — and therefore reliable progress past a failed component —
+//! stalls until a new leader is elected and the retried reports drain
+//! into its log.
 //!
 //! Timestamps come from a shared monotonic epoch (`Instant`), so all
 //! processes in one [`UdpCluster`] share a perfectly synchronized clock —
@@ -25,14 +40,23 @@
 //!
 //! [`HostRuntime`]: onepipe_core::runtime::HostRuntime
 //! [`BarrierAggregator`]: onepipe_switchlogic::barrier::BarrierAggregator
-//! [`ControllerCore`]: onepipe_controller::ControllerCore
+//! [`ReplicatedController`]: onepipe_controller::ReplicatedController
 //! [`MgmtFrame`]: onepipe_controller::MgmtFrame
+//! [`MgmtFrame::Raft`]: onepipe_controller::MgmtFrame::Raft
+//! [`MgmtFrame::Req`]: onepipe_controller::MgmtFrame::Req
+//! [`MgmtFrame::Ack`]: onepipe_controller::MgmtFrame::Ack
+//! [`MgmtFrame::Redirect`]: onepipe_controller::MgmtFrame::Redirect
+//! [`RetryPolicy`]: onepipe_controller::RetryPolicy
 
 #![warn(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use onepipe_clock::MonotonicClock;
-use onepipe_controller::{ControllerCore, CtrlAction, CtrlEvent, FailureDomains, MgmtFrame};
+use onepipe_controller::protocol::ActionDest;
+use onepipe_controller::raft::RaftConfig;
+use onepipe_controller::{
+    CtrlAction, CtrlEvent, FailureDomains, MgmtFrame, ReplicatedController, RetryPolicy,
+};
 use onepipe_core::config::EndpointConfig;
 use onepipe_core::endpoint::{Endpoint, HOP_LOCAL};
 use onepipe_core::events::{CtrlRequest, UserEvent};
@@ -43,12 +67,17 @@ use onepipe_types::message::{Delivered, Message};
 use onepipe_types::time::{Duration as NsDuration, Timestamp, MICROS, MILLIS};
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the soft switch re-reports a still-unresumed dead link to
+/// the controller cluster (at-least-once Detect under controller outage).
+const DETECT_REREPORT_INTERVAL: u64 = 100 * MILLIS;
 
 /// Commands from the application to a process driver thread.
 enum Cmd {
@@ -131,17 +160,27 @@ impl UdpProcess {
     }
 }
 
+/// Handle to one controller replica thread.
+struct ControllerHandle {
+    kill: Arc<AtomicBool>,
+    is_leader: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
 /// A live single-rack 1Pipe deployment over UDP loopback.
 pub struct UdpCluster {
     processes: Vec<UdpProcess>,
+    controllers: Vec<ControllerHandle>,
     stop: Arc<AtomicBool>,
-    /// Infrastructure threads: soft switch + controller.
+    /// Infrastructure threads other than controllers: the soft switch.
     threads: Vec<JoinHandle<()>>,
+    ctrl_retries: Arc<AtomicU64>,
+    ctrl_drops: Arc<AtomicU64>,
 }
 
 impl UdpCluster {
-    /// Spin up `n` processes plus the soft switch and controller on
-    /// 127.0.0.1.
+    /// Spin up `n` processes plus the soft switch and a 3-replica
+    /// controller on 127.0.0.1.
     pub fn new(n: usize, cfg: EndpointConfig) -> std::io::Result<UdpCluster> {
         Self::with_beacon_interval(n, cfg, 100 * MICROS)
     }
@@ -159,15 +198,32 @@ impl UdpCluster {
         Self::with_options(n, cfg, beacon_interval, 1000 * MILLIS)
     }
 
-    /// Full-control constructor: `dead_timeout` is how long an input link
-    /// may stay silent before the soft switch reports it dead (§5.2
-    /// Detect).
+    /// Like [`with_full_options`](Self::with_full_options) with 3
+    /// controller replicas started immediately. `dead_timeout` is how
+    /// long an input link may stay silent before the soft switch reports
+    /// it dead (§5.2 Detect).
     pub fn with_options(
         n: usize,
-        mut cfg: EndpointConfig,
+        cfg: EndpointConfig,
         beacon_interval: NsDuration,
         dead_timeout: NsDuration,
     ) -> std::io::Result<UdpCluster> {
+        Self::with_full_options(n, 3, cfg, beacon_interval, dead_timeout, Duration::ZERO)
+    }
+
+    /// Full-control constructor: `n_ctrl` controller replicas, each of
+    /// which sleeps `ctrl_start_delay` before participating — a test knob
+    /// that creates a controller outage window at startup to exercise the
+    /// host/switch retry paths.
+    pub fn with_full_options(
+        n: usize,
+        n_ctrl: usize,
+        mut cfg: EndpointConfig,
+        beacon_interval: NsDuration,
+        dead_timeout: NsDuration,
+        ctrl_start_delay: Duration,
+    ) -> std::io::Result<UdpCluster> {
+        assert!(n_ctrl >= 1, "at least one controller replica");
         // Only beacons carry trustworthy barriers over this transport
         // (host-delegation mode).
         cfg.trust_data_barriers = false;
@@ -177,13 +233,20 @@ impl UdpCluster {
         cfg.be_ack_timeout = cfg.be_ack_timeout.max(100_000_000);
         let epoch = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
+        let ctrl_retries = Arc::new(AtomicU64::new(0));
+        let ctrl_drops = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::new();
 
         // Bind sockets first so everyone knows everyone's address.
         let switch_sock = UdpSocket::bind("127.0.0.1:0")?;
         let switch_addr = switch_sock.local_addr()?;
-        let ctrl_sock = UdpSocket::bind("127.0.0.1:0")?;
-        let ctrl_addr = ctrl_sock.local_addr()?;
+        let mut ctrl_socks = Vec::new();
+        let mut ctrl_addrs = Vec::new();
+        for _ in 0..n_ctrl {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            ctrl_addrs.push(s.local_addr()?);
+            ctrl_socks.push(s);
+        }
         let mut proc_socks = Vec::new();
         let mut proc_addrs = Vec::new();
         for _ in 0..n {
@@ -196,26 +259,48 @@ impl UdpCluster {
         {
             let stop = stop.clone();
             let addrs = proc_addrs.clone();
+            let ctrls = ctrl_addrs.clone();
+            let retries = ctrl_retries.clone();
             threads.push(std::thread::spawn(move || {
                 run_soft_switch(
                     switch_sock,
                     addrs,
-                    ctrl_addr,
+                    ctrls,
                     epoch,
                     beacon_interval,
                     dead_timeout,
+                    retries,
                     stop,
                 );
             }));
         }
 
-        // The controller thread (leader only; replication stays in-proc).
-        {
+        // The controller replicas.
+        let mut controllers = Vec::new();
+        for (i, sock) in ctrl_socks.into_iter().enumerate() {
             let stop = stop.clone();
+            let kill = Arc::new(AtomicBool::new(false));
+            let is_leader = Arc::new(AtomicBool::new(false));
+            let kill_t = kill.clone();
+            let leader_t = is_leader.clone();
+            let ctrls = ctrl_addrs.clone();
             let addrs = proc_addrs.clone();
-            threads.push(std::thread::spawn(move || {
-                run_controller(ctrl_sock, addrs, switch_addr, epoch, n, stop);
-            }));
+            let thread = std::thread::spawn(move || {
+                run_controller_replica(
+                    i as u32,
+                    sock,
+                    ctrls,
+                    addrs,
+                    switch_addr,
+                    epoch,
+                    n,
+                    ctrl_start_delay,
+                    leader_t,
+                    stop,
+                    kill_t,
+                );
+            });
+            controllers.push(ControllerHandle { kill, is_leader, thread: Some(thread) });
         }
 
         // One driver thread per process.
@@ -230,12 +315,15 @@ impl UdpCluster {
             let kill = Arc::new(AtomicBool::new(false));
             let kill_t = kill.clone();
             let cfg_i = cfg;
+            let ctrls = ctrl_addrs.clone();
+            let retries = ctrl_retries.clone();
+            let drops = ctrl_drops.clone();
             let thread = std::thread::spawn(move || {
                 run_process(
                     id,
                     sock,
                     switch_addr,
-                    ctrl_addr,
+                    ctrls,
                     epoch,
                     beacon_interval,
                     cfg_i,
@@ -243,6 +331,8 @@ impl UdpCluster {
                     del_tx,
                     ev_tx,
                     raw_tx,
+                    retries,
+                    drops,
                     stop,
                     kill_t,
                 );
@@ -258,7 +348,7 @@ impl UdpCluster {
             });
         }
 
-        Ok(UdpCluster { processes, stop, threads })
+        Ok(UdpCluster { processes, controllers, stop, threads, ctrl_retries, ctrl_drops })
     }
 
     /// Handle to process `i`.
@@ -276,6 +366,32 @@ impl UdpCluster {
         self.processes.is_empty()
     }
 
+    /// Number of controller replicas.
+    pub fn controller_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The live controller replica currently believing itself leader, if
+    /// any (transiently `None` during elections).
+    pub fn controller_leader(&self) -> Option<usize> {
+        self.controllers
+            .iter()
+            .position(|c| !c.kill.load(Ordering::SeqCst) && c.is_leader.load(Ordering::SeqCst))
+    }
+
+    /// Control requests retransmitted by hosts (timeout or redirect) plus
+    /// dead-link re-reports by the soft switch — nonzero whenever the
+    /// retry machinery actually ran.
+    pub fn ctrl_retries(&self) -> u64 {
+        self.ctrl_retries.load(Ordering::SeqCst)
+    }
+
+    /// Host control requests abandoned after exhausting their retry
+    /// budget.
+    pub fn ctrl_drops(&self) -> u64 {
+        self.ctrl_drops.load(Ordering::SeqCst)
+    }
+
     /// Fail-stop process `i`: its driver thread exits (beacons cease, its
     /// socket closes) while the rest of the cluster keeps running — the
     /// loopback analogue of yanking a host's power cord.
@@ -287,6 +403,17 @@ impl UdpCluster {
         }
     }
 
+    /// Fail-stop controller replica `i`. With 3 replicas the survivors
+    /// elect a new leader that re-drives any in-flight recovery.
+    pub fn kill_controller(&mut self, i: usize) {
+        let c = &mut self.controllers[i];
+        c.kill.store(true, Ordering::SeqCst);
+        c.is_leader.store(false, Ordering::SeqCst);
+        if let Some(t) = c.thread.take() {
+            let _ = t.join();
+        }
+    }
+
     /// Stop all threads and wait for them (equivalent to dropping).
     pub fn shutdown(self) {}
 
@@ -294,6 +421,11 @@ impl UdpCluster {
         self.stop.store(true, Ordering::SeqCst);
         for p in &mut self.processes {
             if let Some(t) = p.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for c in &mut self.controllers {
+            if let Some(t) = c.thread.take() {
                 let _ = t.join();
             }
         }
@@ -332,15 +464,18 @@ fn send_mgmt(sock: &UdpSocket, to: SocketAddr, frame: &MgmtFrame) {
 }
 
 /// The ToR stand-in: forwards datagrams, aggregates barriers, and reports
-/// dead input links to the controller.
+/// dead input links to the controller cluster — re-reporting every
+/// [`DETECT_REREPORT_INTERVAL`] until the link is resumed, so a Detect
+/// outlives any controller outage or failover.
 #[allow(clippy::too_many_arguments)]
 fn run_soft_switch(
     sock: UdpSocket,
     proc_addrs: Vec<SocketAddr>,
-    ctrl_addr: SocketAddr,
+    ctrl_addrs: Vec<SocketAddr>,
     epoch: Instant,
     beacon_interval: NsDuration,
     dead_timeout: NsDuration,
+    retries: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
 ) {
     sock.set_read_timeout(Some(Duration::from_micros(50))).ok();
@@ -350,6 +485,12 @@ fn run_soft_switch(
     // input link.
     let reporter = NodeId(proc_addrs.len() as u32);
     let mut agg = BarrierAggregator::new(inputs);
+    // Dead links not yet resumed: input -> (last_commit, detect time,
+    // next report time, reported at least once).
+    let mut unresumed: HashMap<NodeId, (Timestamp, u64, u64, bool)> = HashMap::new();
+    // Highest controller epoch seen; actions from lower epochs (a deposed
+    // leader) are fenced off.
+    let mut max_epoch = 0u64;
     let mut buf = [0u8; 65536];
     let mut next_beacon = 0u64;
     let mut last_dbg = 0u64;
@@ -391,10 +532,17 @@ fn run_soft_switch(
                 }
                 Opcode::Mgmt => {
                     // Controller decisions addressed to this switch.
-                    if let Ok(MgmtFrame::Action(CtrlAction::Resume { input, .. })) =
+                    if let Ok(MgmtFrame::Action { epoch: ep, action }) =
                         MgmtFrame::decode(d.payload)
                     {
-                        agg.remove_commit_input(input);
+                        if ep < max_epoch {
+                            continue; // stale leader
+                        }
+                        max_epoch = ep;
+                        if let CtrlAction::Resume { input, .. } = action {
+                            agg.remove_commit_input(input);
+                            unresumed.remove(&input);
+                        }
                     }
                 }
                 _ => {
@@ -416,16 +564,30 @@ fn run_soft_switch(
             // are reported; only the controller's Resume releases the
             // commit barrier.
             for (input, last_commit) in agg.detect_dead(now, dead_timeout) {
-                send_mgmt(
-                    &sock,
-                    ctrl_addr,
-                    &MgmtFrame::Event(CtrlEvent::Detect {
-                        reporter,
-                        dead: input,
-                        last_commit,
-                        at: now,
-                    }),
-                );
+                unresumed.entry(input).or_insert((last_commit, now, now, false));
+            }
+            // Report (and re-report) every unresumed dead link to all
+            // replicas: the cluster may be mid-election or the previous
+            // leader may have died with the report uncommitted. The
+            // controller log deduplicates.
+            for (input, state) in unresumed.iter_mut() {
+                if now < state.2 {
+                    continue;
+                }
+                let frame = MgmtFrame::Event(CtrlEvent::Detect {
+                    reporter,
+                    dead: *input,
+                    last_commit: state.0,
+                    at: state.1,
+                });
+                for addr in &ctrl_addrs {
+                    send_mgmt(&sock, *addr, &frame);
+                }
+                if state.3 {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                }
+                state.3 = true;
+                state.2 = now + DETECT_REREPORT_INTERVAL;
             }
             let be = agg.out_be(now);
             let commit = agg.out_commit(now);
@@ -456,36 +618,85 @@ fn run_soft_switch(
     }
 }
 
-/// The management-plane controller: leader-side [`ControllerCore`] fed by
-/// dead-link reports and host `CtrlRequest`s, answering with
-/// Announce/Resume decisions and relaying forwarded datagrams.
-fn run_controller(
+/// One controller replica: a [`ReplicatedController`] over UDP. Raft
+/// traffic flows between replicas; client requests are acknowledged when
+/// their log entry commits; the leader's actions go out epoch-tagged.
+#[allow(clippy::too_many_arguments)]
+fn run_controller_replica(
+    id: u32,
     sock: UdpSocket,
+    ctrl_addrs: Vec<SocketAddr>,
     proc_addrs: Vec<SocketAddr>,
     switch_addr: SocketAddr,
     epoch: Instant,
     n: usize,
+    start_delay: Duration,
+    is_leader: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
 ) {
-    sock.set_read_timeout(Some(Duration::from_micros(100))).ok();
+    // Startup delay (test knob): the replica exists — its socket buffers
+    // incoming frames — but does not participate yet.
+    let wake = Instant::now() + start_delay;
+    while Instant::now() < wake {
+        if stop.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    sock.set_read_timeout(Some(Duration::from_millis(1))).ok();
     // Failure domains of the loopback rack: component i = host i, whose
     // loss kills exactly process i (its input link is NodeId(i)).
     let mut domains = FailureDomains::default();
     for i in 0..n as u32 {
         domains.add_component(i, vec![NodeId(i)], vec![ProcessId(i)]);
     }
-    let mut core = ControllerCore::new(domains, (0..n as u32).map(ProcessId));
+    // Election/heartbeat timing sized for loopback thread scheduling
+    // (milliseconds), not the simulator's microseconds.
+    let cfg = RaftConfig { election_timeout: 150 * MILLIS, heartbeat_interval: 25 * MILLIS };
+    let peers: Vec<u32> = (0..ctrl_addrs.len() as u32).filter(|&p| p != id).collect();
+    let mut ctrl = ReplicatedController::new(id, peers, cfg, domains, (0..n as u32).map(ProcessId));
+    // Requests accepted but not yet committed: (client seq, log index it
+    // must reach, client address).
+    let mut pending_acks: Vec<(u64, u64, SocketAddr)> = Vec::new();
+    let mut was_leader = false;
     let mut buf = [0u8; 65536];
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.load(Ordering::SeqCst) && !kill.load(Ordering::SeqCst) {
+        let mut raft_out = Vec::new();
         let mut actions = Vec::new();
-        if let Ok((len, _)) = sock.recv_from(&mut buf) {
+        if let Ok((len, from_addr)) = sock.recv_from(&mut buf) {
             if let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
                 if d.header.opcode == Opcode::Mgmt {
                     match MgmtFrame::decode(d.payload) {
-                        Ok(MgmtFrame::Event(ev)) => actions.extend(core.apply(ev, now_ns(epoch))),
+                        Ok(MgmtFrame::Event(ev)) => {
+                            // Fire-and-forget report (the switch re-sends
+                            // until resumed); only a leader can log it.
+                            let _ = ctrl.submit(ev);
+                        }
+                        Ok(MgmtFrame::Req { seq, ev }) => {
+                            if ctrl.is_leader() {
+                                if ctrl.submit(ev) {
+                                    pending_acks.push((seq, ctrl.last_log_index(), from_addr));
+                                }
+                            } else if let Some(leader) = ctrl.leader_hint() {
+                                if leader != id {
+                                    send_mgmt(
+                                        &sock,
+                                        from_addr,
+                                        &MgmtFrame::Redirect { seq, leader },
+                                    );
+                                }
+                            }
+                        }
+                        Ok(MgmtFrame::Raft { from, msg }) => {
+                            let (m, a) = ctrl.on_raft_msg(from, msg, now_ns(epoch));
+                            raft_out.extend(m);
+                            actions.extend(a);
+                        }
                         Ok(MgmtFrame::Forward(fwd)) => {
                             // Forwarding fallback (§5.2): relay around the
-                            // broken direct path.
+                            // broken direct path. Stateless — any replica
+                            // serves it.
                             if let Some(addr) = proc_addrs.get(fwd.dst.0 as usize) {
                                 let _ = sock.send_to(&fwd.encode(), addr);
                             }
@@ -495,19 +706,154 @@ fn run_controller(
                 }
             }
         }
-        // Close expired Determine windows.
-        actions.extend(core.tick(now_ns(epoch)));
+        // Raft timeouts/heartbeats + Determine-window expiry.
+        let (m, a) = ctrl.tick(now_ns(epoch));
+        raft_out.extend(m);
+        actions.extend(a);
+        let leading = ctrl.is_leader();
+        if was_leader && !leading {
+            // Deposed: abandon un-acked requests. Clients time out and
+            // retry against the new leader; the log deduplicates.
+            pending_acks.clear();
+        }
+        was_leader = leading;
+        is_leader.store(leading, Ordering::SeqCst);
+        for (to, msg) in raft_out {
+            if let Some(addr) = ctrl_addrs.get(to as usize) {
+                send_mgmt(&sock, *addr, &MgmtFrame::Raft { from: id, msg });
+            }
+        }
+        // Emit actions epoch-tagged, routed by the shared destination
+        // helper (the same one the simulator harness uses).
+        let ep = ctrl.epoch();
         for action in actions {
-            match &action {
-                CtrlAction::Announce { to, .. } | CtrlAction::RecoveryInfo { to, .. } => {
-                    if let Some(addr) = proc_addrs.get(to.0 as usize) {
-                        send_mgmt(&sock, *addr, &MgmtFrame::Action(action.clone()));
-                    }
-                }
-                CtrlAction::Resume { .. } => {
-                    send_mgmt(&sock, switch_addr, &MgmtFrame::Action(action.clone()));
+            let addr = match action.dest() {
+                ActionDest::Process(p) => proc_addrs.get(p.0 as usize).copied(),
+                ActionDest::Switch(_) => Some(switch_addr),
+            };
+            if let Some(addr) = addr {
+                send_mgmt(&sock, addr, &MgmtFrame::Action { epoch: ep, action });
+            }
+        }
+        // Ack-on-commit: a request is acknowledged only once its log
+        // entry is committed, so an acked request survives any failover.
+        let committed = ctrl.commit_index();
+        pending_acks.retain(|&(seq, idx, client)| {
+            if leading && committed >= idx {
+                send_mgmt(&sock, client, &MgmtFrame::Ack { seq });
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// One in-flight host control request under the retry protocol.
+struct PendingReq {
+    seq: u64,
+    ev: CtrlEvent,
+    attempt: u32,
+    due: u64,
+    redirected: bool,
+}
+
+/// Host-side control-request client: capped exponential backoff, leader
+/// guessing with rotation on timeout, redirect following, ack-on-commit.
+/// Replaces the old fire-and-forget ctrl path — a request is only dropped
+/// after its bounded retry budget is exhausted (and that is counted, not
+/// silent).
+struct CtrlClient {
+    addrs: Vec<SocketAddr>,
+    guess: usize,
+    next_seq: u64,
+    pending: Vec<PendingReq>,
+    retry: RetryPolicy,
+    retries: Arc<AtomicU64>,
+    drops: Arc<AtomicU64>,
+}
+
+impl CtrlClient {
+    fn new(
+        addrs: Vec<SocketAddr>,
+        first_guess: usize,
+        retries: Arc<AtomicU64>,
+        drops: Arc<AtomicU64>,
+    ) -> Self {
+        let guess = first_guess % addrs.len().max(1);
+        CtrlClient {
+            addrs,
+            guess,
+            next_seq: 0,
+            pending: Vec::new(),
+            // First resend after 50 ms, doubling to a 400 ms cap; 8
+            // attempts ≈ 2 s of cover — enough for an election plus
+            // commit round-trips on a loaded CI machine.
+            retry: RetryPolicy { base: 50 * MILLIS, cap: 400 * MILLIS, max_attempts: 8 },
+            retries,
+            drops,
+        }
+    }
+
+    fn guess_addr(&self) -> SocketAddr {
+        self.addrs[self.guess]
+    }
+
+    fn submit(&mut self, ev: CtrlEvent, now: u64) {
+        self.next_seq += 1;
+        self.pending.push(PendingReq {
+            seq: self.next_seq,
+            ev,
+            attempt: 0,
+            due: now,
+            redirected: false,
+        });
+    }
+
+    fn on_ack(&mut self, seq: u64) {
+        self.pending.retain(|p| p.seq != seq);
+    }
+
+    fn on_redirect(&mut self, seq: u64, leader: u32) {
+        if self.pending.iter().any(|p| p.seq == seq) {
+            self.guess = (leader as usize) % self.addrs.len();
+            if let Some(p) = self.pending.iter_mut().find(|p| p.seq == seq) {
+                p.due = 0; // resend immediately, to the indicated leader
+                p.redirected = true;
+            }
+        }
+    }
+
+    fn pump(&mut self, now: u64, sock: &UdpSocket) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if now < self.pending[i].due {
+                i += 1;
+                continue;
+            }
+            if self.retry.exhausted(self.pending[i].attempt) {
+                // Bounded: give up loudly rather than retry forever.
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                self.pending.swap_remove(i);
+                continue;
+            }
+            let redirected = self.pending[i].redirected;
+            let attempt = self.pending[i].attempt + 1;
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                if !redirected {
+                    // Timed out: the guessed replica may be dead or
+                    // deposed — try the next one.
+                    self.guess = (self.guess + 1) % self.addrs.len();
                 }
             }
+            let p = &mut self.pending[i];
+            p.attempt = attempt;
+            p.redirected = false;
+            p.due = now + self.retry.delay(attempt);
+            let frame = MgmtFrame::Req { seq: p.seq, ev: p.ev.clone() };
+            send_mgmt(sock, self.addrs[self.guess], &frame);
+            i += 1;
         }
     }
 }
@@ -583,7 +929,7 @@ fn run_process(
     id: ProcessId,
     sock: UdpSocket,
     switch_addr: SocketAddr,
-    ctrl_addr: SocketAddr,
+    ctrl_addrs: Vec<SocketAddr>,
     epoch: Instant,
     beacon_interval: NsDuration,
     cfg: EndpointConfig,
@@ -591,6 +937,8 @@ fn run_process(
     del_tx: Sender<(Delivered, bool)>,
     ev_tx: Sender<UserEvent>,
     raw_tx: Sender<(ProcessId, bytes::Bytes)>,
+    retries: Arc<AtomicU64>,
+    drops: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
 ) {
@@ -606,6 +954,12 @@ fn run_process(
     );
     rt.set_app(Rc::new(RefCell::new(ChannelApp { del_tx, ev_tx, raw_tx })));
     let mut wire = UdpWire { sock: &sock, switch_addr, epoch, id };
+    // Initial leader guesses are spread over the replicas so follower
+    // contact (and the Redirect path) gets exercised, not just the lucky
+    // processes whose guess is right.
+    let mut client = CtrlClient::new(ctrl_addrs, id.0 as usize, retries, drops);
+    // Stale-leader fence: highest controller epoch seen.
+    let mut max_epoch = 0u64;
     let mut buf = [0u8; 65536];
     let mut next_tick = 0u64;
     while !stop.load(Ordering::SeqCst) && !kill.load(Ordering::SeqCst) {
@@ -625,14 +979,16 @@ fn run_process(
         if let Ok((len, _)) = sock.recv_from(&mut buf) {
             if let Ok(d) = Datagram::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
                 if d.header.opcode == Opcode::Mgmt {
-                    // Controller decisions addressed to this process.
-                    if let Ok(MgmtFrame::Action(CtrlAction::Announce {
-                        id: announce_id,
-                        failures,
-                        ..
-                    })) = MgmtFrame::decode(d.payload)
-                    {
-                        rt.deliver_announcement(&mut wire, id, announce_id, &failures);
+                    match MgmtFrame::decode(d.payload) {
+                        Ok(MgmtFrame::Action { epoch: ep, action }) if ep >= max_epoch => {
+                            max_epoch = ep;
+                            if let CtrlAction::Announce { id: announce_id, failures, .. } = action {
+                                rt.deliver_announcement(&mut wire, id, announce_id, &failures);
+                            }
+                        }
+                        Ok(MgmtFrame::Ack { seq }) => client.on_ack(seq),
+                        Ok(MgmtFrame::Redirect { seq, leader }) => client.on_redirect(seq, leader),
+                        _ => {}
                     }
                 } else {
                     rt.on_datagram(&mut wire, d);
@@ -645,20 +1001,25 @@ fn run_process(
             rt.on_tick(&mut wire);
             next_tick = rt.next_tick_at(now);
         }
-        // Route controller requests over the management plane.
+        // Route controller requests over the management plane: requests
+        // that must reach the log go through the retrying client;
+        // forwarding stays best-effort (data-path fallback, not state).
         let reqs: Vec<(ProcessId, CtrlRequest)> = rt.ctrl_outbox.borrow_mut().drain(..).collect();
         for (from, req) in reqs {
-            let frame = match req {
+            match req {
                 CtrlRequest::CallbackComplete { announce_id } => {
-                    MgmtFrame::Event(CtrlEvent::CallbackComplete { announce_id, from })
+                    client.submit(CtrlEvent::CallbackComplete { announce_id, from }, now);
                 }
                 CtrlRequest::UndeliverableRecall { to, ts, seq } => {
-                    MgmtFrame::Event(CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from })
+                    client
+                        .submit(CtrlEvent::UndeliverableRecall { to, ts, seq, sender: from }, now);
                 }
-                CtrlRequest::Forward { dgram } => MgmtFrame::Forward(dgram),
-            };
-            send_mgmt(&sock, ctrl_addr, &frame);
+                CtrlRequest::Forward { dgram } => {
+                    send_mgmt(&sock, client.guess_addr(), &MgmtFrame::Forward(dgram));
+                }
+            }
         }
+        client.pump(now_ns(epoch), &sock);
         // The app hook already forwarded these to the channels; the sinks
         // exist for harness-style inspection, which nothing does here.
         rt.deliveries.borrow_mut().clear();
@@ -757,6 +1118,21 @@ mod tests {
             .expect("traced send");
         assert!(ts2 > ts1, "timestamps advance");
         assert!(seq2 > seq1, "scattering seq advances");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_elects_exactly_one_controller_leader() {
+        let _guard = TEST_LOCK.lock();
+        let cluster = UdpCluster::new(2, EndpointConfig::default()).unwrap();
+        assert_eq!(cluster.controller_count(), 3);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut leader = None;
+        while leader.is_none() && Instant::now() < deadline {
+            leader = cluster.controller_leader();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(leader.is_some(), "a controller leader must be elected");
         cluster.shutdown();
     }
 }

@@ -79,6 +79,41 @@ fn explicit_host_crash_schedule_stays_atomic() {
     assert!(out.deliveries > 0);
 }
 
+/// Acceptance sweep for controller fault tolerance: across 25 seeds, a
+/// controller replica (the leader) crashes 20–80 µs after a host crash —
+/// while that failure's recovery is in flight. Every seed must stay
+/// clean: total order and atomicity hold, each recovery decision is
+/// delivered exactly once per epoch, recovery completes (no pending
+/// failures — i.e. no hung reliable channel), and a failover election
+/// actually happened.
+#[test]
+fn controller_crash_mid_recovery_sweep_is_clean() {
+    let mut cfg = CampaignConfig::single_rack(6, 6);
+    // Election (~10 management RTTs) plus a full re-drive ride on the
+    // drain; give them head-room beyond the default.
+    cfg.drain = 1_500 * MICROS;
+    for seed in 0..25u64 {
+        // Vary both the host-crash time and the crash→controller-crash
+        // offset across seeds so the failover lands in different phases
+        // of the Detect → Announce → Callback → Resume pipeline.
+        let t_crash = cfg.warmup + 100 * MICROS + (seed % 7) * 60 * MICROS;
+        let offset = 20 * MICROS + (seed % 4) * 20 * MICROS;
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent { at: t_crash, fault: Fault::HostCrash { host: HostId(5) } },
+            FaultEvent { at: t_crash + offset, fault: Fault::ControllerCrash { replica: None } },
+        ]);
+        let out = run_with_schedule(&cfg, seed, &schedule);
+        assert!(out.violation.is_none(), "seed {seed}: {}", out.violation.unwrap());
+        assert!(out.deliveries > 0, "seed {seed}: workload must deliver");
+        assert_eq!(out.faults_injected, 2, "seed {seed}: host + controller crash must execute");
+        assert!(
+            out.ctrl_elections >= 2,
+            "seed {seed}: killing the leader must force a new election (saw {})",
+            out.ctrl_elections
+        );
+    }
+}
+
 #[test]
 fn shrinker_never_grows_and_preserves_failure() {
     let cfg = CampaignConfig::testbed();

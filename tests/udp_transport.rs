@@ -166,3 +166,150 @@ fn udp_kill_one_process_recovers() {
     assert!(got_after.is_some(), "reliable delivery must resume after recovery");
     cluster.shutdown();
 }
+
+/// Kill the controller *leader* while a host failure is still being
+/// recovered: the surviving replicas elect a new leader that re-drives
+/// the in-flight recovery, best-effort traffic keeps flowing during the
+/// leaderless window, and reliable delivery resumes afterwards.
+#[test]
+fn udp_controller_failover_mid_recovery() {
+    let _guard = TEST_LOCK.lock();
+    let mut cluster =
+        UdpCluster::with_options(3, EndpointConfig::default(), 100 * MICROS, 600 * MILLIS).unwrap();
+    // Wait for the initial election, then for barriers to flow.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut leader = None;
+    while leader.is_none() && Instant::now() < deadline {
+        leader = cluster.controller_leader();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let old_leader = leader.expect("initial controller election");
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "before")]);
+    let got = cluster.process(1).recv_timeout(Duration::from_secs(10)).expect("baseline delivery");
+    assert_eq!(got.0.payload, bytes::Bytes::from_static(b"before"));
+
+    // Fail-stop process 2, then kill the controller leader before the
+    // dead-link timeout (600 ms) fires: the Detect report lands on a
+    // leaderless cluster and recovery happens entirely under the new
+    // leader.
+    cluster.kill(2);
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.kill_controller(old_leader);
+
+    // Best-effort traffic must keep flowing during the controller outage
+    // (once the dead link leaves the best-effort minimum by quarantine —
+    // no controller involvement). Send until one arrives.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut be_during_outage = false;
+    while !be_during_outage && Instant::now() < deadline {
+        cluster.process(0).send_unreliable(vec![Message::new(ProcessId(1), "be-probe")]);
+        for (m, reliable) in cluster.process(1).try_recv_all() {
+            if !reliable && m.payload == bytes::Bytes::from_static(b"be-probe") {
+                be_during_outage = true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(be_during_outage, "best-effort delivery must continue during controller failover");
+
+    // The new leader re-drives the recovery: both survivors get the
+    // failure callback exactly as if no controller had died.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut callbacks = [false, false];
+    while !(callbacks[0] && callbacks[1]) && Instant::now() < deadline {
+        for (i, got) in callbacks.iter_mut().enumerate() {
+            for ev in cluster.process(i).try_events() {
+                if let UserEvent::ProcessFailed { failures, .. } = ev {
+                    assert!(failures.iter().any(|&(p, _)| p == ProcessId(2)));
+                    *got = true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        callbacks[0] && callbacks[1],
+        "survivors must receive the failure callback via the new leader (got {callbacks:?})"
+    );
+    let new_leader = cluster.controller_leader().expect("a new leader must be elected");
+    assert_ne!(new_leader, old_leader, "leadership moved to a surviving replica");
+
+    // Resume reached the switch: reliable delivery works again.
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "after")]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got_after = false;
+    while !got_after && Instant::now() < deadline {
+        if let Some((m, reliable)) = cluster.process(1).recv_timeout(Duration::from_millis(100)) {
+            if reliable && m.payload == bytes::Bytes::from_static(b"after") {
+                got_after = true;
+            }
+        }
+    }
+    assert!(got_after, "reliable delivery must resume after controller failover");
+    cluster.shutdown();
+}
+
+/// Delay every controller replica past the hosts' first request timeout:
+/// the retry/backoff machinery (host requests and switch Detect
+/// re-reports) must bridge the outage, and recovery completes once the
+/// late-starting replicas elect a leader.
+#[test]
+fn udp_ctrl_backoff_retries_until_leader() {
+    let _guard = TEST_LOCK.lock();
+    let mut cluster = UdpCluster::with_full_options(
+        3,
+        3,
+        EndpointConfig::default(),
+        100 * MICROS,
+        300 * MILLIS,
+        Duration::from_millis(1200),
+    )
+    .unwrap();
+    // Processes and the switch run immediately; only the controllers
+    // sleep. Failure-free traffic needs no controller.
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "no-ctrl-needed")]);
+    let got =
+        cluster.process(1).recv_timeout(Duration::from_secs(10)).expect("delivery sans controller");
+    assert_eq!(got.0.payload, bytes::Bytes::from_static(b"no-ctrl-needed"));
+
+    // Kill a process while no controller is awake: the Detect report (and
+    // any host callbacks later) must be retried until a leader exists.
+    cluster.kill(2);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut callbacks = [false, false];
+    while !(callbacks[0] && callbacks[1]) && Instant::now() < deadline {
+        for (i, got) in callbacks.iter_mut().enumerate() {
+            for ev in cluster.process(i).try_events() {
+                if let UserEvent::ProcessFailed { failures, .. } = ev {
+                    assert!(failures.iter().any(|&(p, _)| p == ProcessId(2)));
+                    *got = true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        callbacks[0] && callbacks[1],
+        "recovery must complete once the delayed controllers come up (got {callbacks:?})"
+    );
+    assert!(
+        cluster.ctrl_retries() > 0,
+        "the controller outage must have forced at least one retry"
+    );
+    assert_eq!(cluster.ctrl_drops(), 0, "no request may exhaust its retry budget in this run");
+
+    cluster.process(0).send_reliable(vec![Message::new(ProcessId(1), "after")]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got_after = false;
+    while !got_after && Instant::now() < deadline {
+        if let Some((m, reliable)) = cluster.process(1).recv_timeout(Duration::from_millis(100)) {
+            if reliable && m.payload == bytes::Bytes::from_static(b"after") {
+                got_after = true;
+            }
+        }
+    }
+    assert!(got_after, "reliable delivery must resume after the delayed election");
+    cluster.shutdown();
+}
