@@ -25,4 +25,5 @@ pub mod storage;
 pub mod tpcc;
 pub mod workload;
 
-pub use metrics::{TxnMetrics, TxnRecord};
+pub use metrics::{ByKey, TenantCounters, TenantTable, TxnMetrics, TxnRecord};
+pub use workload::{Arrival, OpenLoop};

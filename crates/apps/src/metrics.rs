@@ -1,6 +1,159 @@
-//! Transaction-level measurement shared by the applications.
+//! Measurement shared by the applications: per-key histogram maps,
+//! per-tenant event counters, and the transaction-window metrics the
+//! figure benches consume.
+//!
+//! The figure apps (KVS, TPC-C, …) aggregate [`TxnRecord`]s over a
+//! window; multi-tenant services (the `onepipe-log` pub/sub log) track
+//! one [`TenantCounters`] per tenant in a [`TenantTable`] plus latency
+//! histograms in a [`ByKey`]. Both are built on the same
+//! [`Samples`] reservoir.
 
-use onepipe_netsim::stats::Samples;
+pub use onepipe_netsim::stats::Samples;
+use std::collections::BTreeMap;
+
+/// Histogram samples keyed by an arbitrary `Ord` key (transaction kind,
+/// tenant id, shard id, …).
+#[derive(Default)]
+pub struct ByKey<K: Ord + Copy> {
+    map: BTreeMap<K, Samples>,
+}
+
+impl<K: Ord + Copy> ByKey<K> {
+    /// Empty map.
+    pub fn new() -> Self {
+        ByKey { map: BTreeMap::new() }
+    }
+
+    /// Record one sample under `key`.
+    pub fn push(&mut self, key: K, v: f64) {
+        self.map.entry(key).or_default().push(v);
+    }
+
+    /// Samples recorded under `key`, if any.
+    pub fn get(&self, key: K) -> Option<&Samples> {
+        self.map.get(&key)
+    }
+
+    /// Iterate `(key, samples)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Samples)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All samples across keys, merged into one distribution.
+    pub fn merged(&self) -> Samples {
+        let mut all = Samples::new();
+        for s in self.map.values() {
+            for &v in s.values() {
+                all.push(v);
+            }
+        }
+        all
+    }
+}
+
+/// Monotonic event counters for one tenant (stream) of a multi-tenant
+/// service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Batches appended to the tenant's log.
+    pub appends: u64,
+    /// Payload bytes appended.
+    pub bytes: u64,
+    /// Duplicate batches dropped by the sequence gate.
+    pub dup_drops: u64,
+    /// Batches currently held waiting for a sequence gap to fill.
+    pub held: u64,
+    /// Peak held-for-gap depth ever observed.
+    pub held_peak: u64,
+    /// Admission attempts deferred because the credit window was
+    /// exhausted (backpressure surfaced to the submitting client).
+    pub stalls: u64,
+    /// Records pushed to subscribers (live fan-out plus replay).
+    pub fanout_records: u64,
+}
+
+impl TenantCounters {
+    /// Record `held` and refresh the peak.
+    pub fn set_held(&mut self, depth: u64) {
+        self.held = depth;
+        self.held_peak = self.held_peak.max(depth);
+    }
+
+    /// Fold another tenant's counters into this one (peaks take the max).
+    pub fn merge(&mut self, o: &TenantCounters) {
+        self.appends += o.appends;
+        self.bytes += o.bytes;
+        self.dup_drops += o.dup_drops;
+        self.held += o.held;
+        self.held_peak = self.held_peak.max(o.held_peak);
+        self.stalls += o.stalls;
+        self.fanout_records += o.fanout_records;
+    }
+}
+
+/// Per-tenant counter table, keyed by tenant (stream) id.
+#[derive(Default)]
+pub struct TenantTable {
+    map: BTreeMap<u64, TenantCounters>,
+}
+
+impl TenantTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        TenantTable { map: BTreeMap::new() }
+    }
+
+    /// Mutable counters for `tenant`, created on first touch.
+    pub fn tenant(&mut self, tenant: u64) -> &mut TenantCounters {
+        self.map.entry(tenant).or_default()
+    }
+
+    /// Counters for `tenant`, if it was ever touched.
+    pub fn get(&self, tenant: u64) -> Option<&TenantCounters> {
+        self.map.get(&tenant)
+    }
+
+    /// Iterate `(tenant, counters)` in tenant order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &TenantCounters)> {
+        self.map.iter()
+    }
+
+    /// Number of tenants touched.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no tenant was touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sum of all tenants' counters (peaks are maxima, not sums).
+    pub fn totals(&self) -> TenantCounters {
+        let mut t = TenantCounters::default();
+        for c in self.map.values() {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Fold another table into this one, tenant by tenant.
+    pub fn merge(&mut self, o: &TenantTable) {
+        for (id, c) in o.iter() {
+            self.tenant(*id).merge(c);
+        }
+    }
+}
 
 /// One completed transaction.
 #[derive(Clone, Copy, Debug)]
@@ -21,7 +174,7 @@ pub struct TxnMetrics {
     /// Transactions per second (total).
     pub tput: f64,
     /// Latency samples (ns) per kind code.
-    pub latency_by_kind: Vec<(u8, Samples)>,
+    pub latency_by_kind: ByKey<u8>,
     /// All-latency samples (ns).
     pub latency: Samples,
     /// Mean retries per committed transaction.
@@ -34,7 +187,7 @@ impl TxnMetrics {
     /// Compute metrics from records completing within `[t0, t1]`.
     pub fn over_window(records: &[TxnRecord], t0: u64, t1: u64) -> TxnMetrics {
         let mut latency = Samples::new();
-        let mut by_kind: std::collections::BTreeMap<u8, Samples> = Default::default();
+        let mut by_kind = ByKey::new();
         let mut retries = 0u64;
         let mut count = 0usize;
         for r in records {
@@ -45,12 +198,12 @@ impl TxnMetrics {
             retries += r.retries as u64;
             let l = (r.end - r.start) as f64;
             latency.push(l);
-            by_kind.entry(r.kind).or_default().push(l);
+            by_kind.push(r.kind, l);
         }
         let secs = ((t1 - t0) as f64 / 1e9).max(1e-12);
         TxnMetrics {
             tput: count as f64 / secs,
-            latency_by_kind: by_kind.into_iter().collect(),
+            latency_by_kind: by_kind,
             latency,
             mean_retries: if count == 0 { 0.0 } else { retries as f64 / count as f64 },
             count,
@@ -59,7 +212,7 @@ impl TxnMetrics {
 
     /// Latency samples for a kind code, if any completed.
     pub fn kind(&self, k: u8) -> Option<&Samples> {
-        self.latency_by_kind.iter().find(|(kk, _)| *kk == k).map(|(_, s)| s)
+        self.latency_by_kind.get(k)
     }
 }
 
@@ -81,5 +234,44 @@ mod tests {
         assert!(m.kind(2).is_some());
         assert!(m.kind(1).is_none());
         assert_eq!(m.latency.len(), 2);
+    }
+
+    #[test]
+    fn by_key_groups_and_merges() {
+        let mut b = ByKey::new();
+        b.push(7u64, 1.0);
+        b.push(7, 3.0);
+        b.push(9, 5.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(7).unwrap().len(), 2);
+        assert!(b.get(8).is_none());
+        assert_eq!(b.merged().len(), 3);
+        let keys: Vec<u64> = b.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![7, 9]);
+    }
+
+    #[test]
+    fn tenant_counters_track_peaks_and_totals() {
+        let mut t = TenantTable::new();
+        t.tenant(1).appends = 5;
+        t.tenant(1).bytes = 500;
+        t.tenant(1).set_held(3);
+        t.tenant(1).set_held(1);
+        t.tenant(2).appends = 2;
+        t.tenant(2).stalls = 4;
+        assert_eq!(t.get(1).unwrap().held, 1);
+        assert_eq!(t.get(1).unwrap().held_peak, 3);
+        let tot = t.totals();
+        assert_eq!(tot.appends, 7);
+        assert_eq!(tot.stalls, 4);
+        assert_eq!(tot.held_peak, 3);
+
+        let mut other = TenantTable::new();
+        other.tenant(2).appends = 1;
+        other.tenant(3).dup_drops = 9;
+        t.merge(&other);
+        assert_eq!(t.get(2).unwrap().appends, 3);
+        assert_eq!(t.get(3).unwrap().dup_drops, 9);
+        assert_eq!(t.len(), 3);
     }
 }

@@ -102,6 +102,76 @@ pub fn shard_of(key: u64, n_shards: usize) -> usize {
     ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % n_shards as u64) as usize
 }
 
+/// One open-loop arrival: tenant `tenant` submits at true time `at` (ns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time, ns.
+    pub at: u64,
+    /// Tenant (stream) the submission targets.
+    pub tenant: u64,
+}
+
+/// Open-loop multi-tenant arrival process.
+///
+/// The closed-loop generators above model a fixed client population that
+/// waits for each response; an open-loop process instead fires at an
+/// aggregate Poisson rate regardless of service progress — the shape a
+/// service with thousands of independent tenants actually sees. Each
+/// arrival picks its tenant from a Zipfian (`theta > 0`) or uniform
+/// (`theta == 0`) distribution, so a tenant's individual rate is the
+/// aggregate rate times its popularity share.
+#[derive(Clone, Debug)]
+pub struct OpenLoop {
+    tenants: KeyDist,
+    mean_gap_ns: f64,
+    next_at: u64,
+    rng: StdRng,
+}
+
+impl OpenLoop {
+    /// Arrivals at `rate_per_sec` aggregate over `n_tenants` tenants with
+    /// Zipf skew `theta` (0.0 = uniform), starting at time `start_ns`.
+    pub fn new(n_tenants: u64, theta: f64, rate_per_sec: f64, start_ns: u64, seed: u64) -> Self {
+        assert!(rate_per_sec > 0.0, "open-loop rate must be positive");
+        let tenants = if theta == 0.0 {
+            KeyDist::uniform(n_tenants)
+        } else {
+            KeyDist::Zipf(Zipfian::new(n_tenants, theta))
+        };
+        let mut ol = OpenLoop {
+            tenants,
+            mean_gap_ns: 1e9 / rate_per_sec,
+            next_at: start_ns,
+            rng: rand::SeedableRng::seed_from_u64(seed),
+        };
+        ol.advance();
+        ol
+    }
+
+    fn advance(&mut self) {
+        // Exponential inter-arrival by inverse transform.
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        let gap = -(1.0 - u).ln() * self.mean_gap_ns;
+        self.next_at += (gap as u64).max(1);
+    }
+
+    /// Time of the next arrival (it has not fired yet).
+    pub fn peek_at(&self) -> u64 {
+        self.next_at
+    }
+
+    /// The next arrival if it is due strictly before `t_end`, else `None`
+    /// (the arrival stays pending). Call in a loop to drain a tick.
+    pub fn next_before(&mut self, t_end: u64) -> Option<Arrival> {
+        if self.next_at >= t_end {
+            return None;
+        }
+        let a = Arrival { at: self.next_at, tenant: self.tenants.sample(&mut self.rng) };
+        self.advance();
+        Some(a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +221,47 @@ mod tests {
         let small = sizes.iter().filter(|&&s| s < 128).count();
         assert!(small > 7_000);
         assert!(sizes.iter().all(|&s| (8..4096).contains(&s)));
+    }
+
+    #[test]
+    fn open_loop_rate_and_order() {
+        // 1M arrivals/s for 10 ms ≈ 10_000 arrivals.
+        let mut ol = OpenLoop::new(100, 0.0, 1_000_000.0, 0, 7);
+        let mut last = 0u64;
+        let mut n = 0u64;
+        while let Some(a) = ol.next_before(10_000_000) {
+            assert!(a.at >= last, "arrivals must be time-ordered");
+            assert!(a.tenant < 100);
+            last = a.at;
+            n += 1;
+        }
+        assert!((8_000..12_000).contains(&n), "rate off: {n} arrivals");
+        // Pending arrival is not consumed by a too-early deadline.
+        let at = ol.peek_at();
+        assert!(ol.next_before(at).is_none());
+        assert_eq!(ol.peek_at(), at);
+    }
+
+    #[test]
+    fn open_loop_zipf_skews_tenants() {
+        let mut ol = OpenLoop::new(1_000, 0.99, 1_000_000.0, 0, 8);
+        let mut counts = std::collections::HashMap::new();
+        while let Some(a) = ol.next_before(20_000_000) {
+            *counts.entry(a.tenant).or_insert(0u32) += 1;
+        }
+        let total: u32 = counts.values().sum();
+        let hottest = counts.values().max().copied().unwrap();
+        assert!(hottest as f64 > total as f64 * 0.05, "hottest {hottest}/{total}");
+        assert!(counts.len() > 300, "tail too short: {}", counts.len());
+    }
+
+    #[test]
+    fn open_loop_is_deterministic() {
+        let mut a = OpenLoop::new(50, 0.99, 500_000.0, 123, 42);
+        let mut b = OpenLoop::new(50, 0.99, 500_000.0, 123, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_before(u64::MAX), b.next_before(u64::MAX));
+        }
     }
 
     #[test]

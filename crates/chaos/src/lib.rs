@@ -6,8 +6,10 @@ pub mod oracle;
 pub mod runner;
 pub mod schedule;
 pub mod shrink;
+pub mod streams;
 
 pub use oracle::{InvariantKind, Oracle, Violation};
 pub use runner::{run_campaign, run_with_schedule, CampaignConfig, CampaignReport, SeedOutcome};
 pub use schedule::{Fault, FaultBudget, FaultEvent, FaultSchedule};
 pub use shrink::shrink;
+pub use streams::StreamOrderOracle;

@@ -56,6 +56,15 @@ pub enum InvariantKind {
     /// Recovery never completed: the controller still had pending
     /// failures after the run drained (a hung reliable channel).
     RecoveryLiveness,
+    /// A stream log's offsets were not dense `0, 1, 2, …` at some
+    /// observer (gap, reorder, or duplicate record).
+    StreamOrder,
+    /// A client's batch sequences did not appear in contiguous order
+    /// within its stream (per-client order inside the total order).
+    ClientSeqOrder,
+    /// Two observers of the same stream disagreed on the record at an
+    /// offset (replica/subscriber divergence).
+    StreamDivergence,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -68,6 +77,9 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::BarrierMonotonicity => "barrier-monotonicity",
             InvariantKind::CtrlExactlyOnce => "ctrl-exactly-once",
             InvariantKind::RecoveryLiveness => "recovery-liveness",
+            InvariantKind::StreamOrder => "stream-order",
+            InvariantKind::ClientSeqOrder => "client-seq-order",
+            InvariantKind::StreamDivergence => "stream-divergence",
         };
         f.write_str(s)
     }

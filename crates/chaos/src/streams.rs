@@ -1,0 +1,220 @@
+//! Stream-order oracle: per-client-sequence and per-stream-offset
+//! invariants for ordered log services built on 1Pipe.
+//!
+//! The base [`Oracle`](crate::oracle::Oracle) checks 1Pipe's own
+//! delivery invariants; this one checks what a *log service* promises on
+//! top of them, from the point of view of any observer of a stream — a
+//! shard replica's log or a subscriber's applied sequence:
+//!
+//! 1. **Offset density** ([`InvariantKind::StreamOrder`]): each
+//!    observer sees a stream's offsets as exactly `0, 1, 2, …` — no
+//!    gap, no reorder, no duplicate offset.
+//! 2. **Per-client sequence order** ([`InvariantKind::ClientSeqOrder`]):
+//!    within a stream, each client's batch sequences appear contiguously
+//!    from 0 — a crash/failover may never leak a gap, reorder, or
+//!    duplicate into what a tenant observes.
+//! 3. **Observer agreement** ([`InvariantKind::StreamDivergence`]):
+//!    all observers agree on which record sits at `(stream, offset)`.
+//!
+//! Feed it with [`observe_record`](StreamOrderOracle::observe_record)
+//! in each observer's apply order (replicas after a run, subscribers as
+//! records land) and read the verdict from
+//! [`ok`](StreamOrderOracle::ok) / [`violations`](StreamOrderOracle::violations).
+
+use crate::oracle::{InvariantKind, Violation};
+use onepipe_types::ids::ProcessId;
+use std::collections::HashMap;
+
+/// Cap on recorded violations (mirrors the base oracle: after the first
+/// few everything downstream is noise).
+const MAX_VIOLATIONS: usize = 32;
+
+/// Identity of a record, as far as agreement is concerned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RecordId {
+    client: u32,
+    seq: u64,
+    len: u32,
+}
+
+/// Checker for the stream-order invariants of a multi-tenant log.
+#[derive(Default)]
+pub struct StreamOrderOracle {
+    /// Next expected offset per `(observer, stream)`.
+    next_offset: HashMap<(ProcessId, u64), u64>,
+    /// Next expected batch sequence per `(observer, stream, client)`.
+    next_seq: HashMap<(ProcessId, u64, u32), u64>,
+    /// First-observer record identity per `(stream, offset)`.
+    canon: HashMap<(u64, u64), RecordId>,
+    violations: Vec<Violation>,
+}
+
+impl StreamOrderOracle {
+    /// Fresh oracle with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn violate(&mut self, kind: InvariantKind, at: u64, detail: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation { kind, at, detail });
+        }
+    }
+
+    /// Record that `observer` applied the record `(client, seq,
+    /// payload_len)` at `offset` of `stream`, at true time `at`. Call in
+    /// the observer's apply order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_record(
+        &mut self,
+        at: u64,
+        observer: ProcessId,
+        stream: u64,
+        offset: u64,
+        client: u32,
+        seq: u64,
+        payload_len: usize,
+    ) {
+        // 1. Offsets dense per observer.
+        let expected = self.next_offset.get(&(observer, stream)).copied().unwrap_or(0);
+        if offset != expected {
+            let what = if offset < expected { "duplicate/reorder" } else { "gap" };
+            self.violate(
+                InvariantKind::StreamOrder,
+                at,
+                format!(
+                    "{observer:?} stream {stream}: offset {what} (got {offset}, expected {expected})"
+                ),
+            );
+        }
+        // Resync so one fault does not cascade into dozens.
+        let next = if offset >= expected { offset + 1 } else { expected };
+        self.next_offset.insert((observer, stream), next);
+
+        // 2. Per-client sequences contiguous from 0 per observer.
+        let expected = self.next_seq.get(&(observer, stream, client)).copied().unwrap_or(0);
+        if seq != expected {
+            let what = if seq < expected { "duplicate/reorder" } else { "gap" };
+            self.violate(
+                InvariantKind::ClientSeqOrder,
+                at,
+                format!(
+                    "{observer:?} stream {stream} client {client}: seq {what} (got {seq}, expected {expected})"
+                ),
+            );
+        }
+        let next = if seq >= expected { seq + 1 } else { expected };
+        self.next_seq.insert((observer, stream, client), next);
+
+        // 3. All observers agree on (stream, offset) → record.
+        let id = RecordId { client, seq, len: payload_len as u32 };
+        match self.canon.get(&(stream, offset)) {
+            None => {
+                self.canon.insert((stream, offset), id);
+            }
+            Some(first) if *first != id => {
+                self.violate(
+                    InvariantKind::StreamDivergence,
+                    at,
+                    format!(
+                        "stream {stream} offset {offset}: {observer:?} saw client {client} seq {seq} len {payload_len}, first observer saw client {} seq {} len {}",
+                        first.client, first.seq, first.len
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// True when no invariant has been violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All recorded violations (capped).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The first violation, if any — the one to debug.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R1: ProcessId = ProcessId(0);
+    const R2: ProcessId = ProcessId(1);
+
+    fn feed_clean(o: &mut StreamOrderOracle, observer: ProcessId) {
+        // Two clients interleaved, offsets dense, seqs contiguous.
+        let plan = [(0u32, 0u64), (1, 0), (0, 1), (1, 1), (0, 2)];
+        for (i, (client, seq)) in plan.iter().enumerate() {
+            o.observe_record(i as u64, observer, 5, i as u64, *client, *seq, 10);
+        }
+    }
+
+    #[test]
+    fn clean_run_is_silent() {
+        let mut o = StreamOrderOracle::new();
+        feed_clean(&mut o, R1);
+        feed_clean(&mut o, R2);
+        assert!(o.ok(), "unexpected: {:?}", o.first_violation());
+    }
+
+    #[test]
+    fn offset_gap_fires() {
+        let mut o = StreamOrderOracle::new();
+        o.observe_record(1, R1, 5, 0, 0, 0, 10);
+        o.observe_record(2, R1, 5, 2, 0, 1, 10); // offset 1 missing
+        assert!(!o.ok());
+        assert_eq!(o.first_violation().unwrap().kind, InvariantKind::StreamOrder);
+    }
+
+    #[test]
+    fn duplicate_offset_fires_once_then_resyncs() {
+        let mut o = StreamOrderOracle::new();
+        o.observe_record(1, R1, 5, 0, 0, 0, 10);
+        o.observe_record(2, R1, 5, 0, 0, 0, 10); // duplicate offset
+        let n = o.violations().len();
+        assert!(n >= 1);
+        assert_eq!(o.first_violation().unwrap().kind, InvariantKind::StreamOrder);
+    }
+
+    #[test]
+    fn client_seq_gap_fires() {
+        let mut o = StreamOrderOracle::new();
+        o.observe_record(1, R1, 5, 0, 7, 0, 10);
+        o.observe_record(2, R1, 5, 1, 7, 2, 10); // seq 1 skipped
+        assert!(o.violations().iter().any(|v| v.kind == InvariantKind::ClientSeqOrder));
+    }
+
+    #[test]
+    fn client_seq_duplicate_fires() {
+        let mut o = StreamOrderOracle::new();
+        o.observe_record(1, R1, 5, 0, 7, 0, 10);
+        o.observe_record(2, R1, 5, 1, 7, 0, 10); // seq 0 again
+        assert!(o.violations().iter().any(|v| v.kind == InvariantKind::ClientSeqOrder));
+    }
+
+    #[test]
+    fn divergence_between_observers_fires() {
+        let mut o = StreamOrderOracle::new();
+        o.observe_record(1, R1, 5, 0, 0, 0, 10);
+        o.observe_record(2, R2, 5, 0, 1, 0, 10); // different client at offset 0
+        assert!(o.violations().iter().any(|v| v.kind == InvariantKind::StreamDivergence));
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        let mut o = StreamOrderOracle::new();
+        for i in 0..200u64 {
+            // Every record repeats offset 0 → endless violations.
+            o.observe_record(i, R1, 5, 0, 0, 0, 10);
+        }
+        assert!(o.violations().len() <= MAX_VIOLATIONS);
+    }
+}

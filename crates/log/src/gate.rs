@@ -1,0 +1,119 @@
+//! Per-client sequence gate: hold-and-release gap enforcement.
+//!
+//! 1Pipe delivers every shard replica the same total order, but a
+//! client's batches can still arrive with *sequence* gaps relative to the
+//! client's own numbering — a resend overtaken by the original, a batch
+//! recalled and retried after later batches, a duplicate from failover
+//! retransmission. The gate restores the Embarcadero-style per-client
+//! contract (SNIPPETS.md, Snippet 3): batches append in exactly
+//! client-sequence order `0, 1, 2, …`, each exactly once.
+//!
+//! Rules, applied to each offered `(seq, payload)`:
+//! * `seq <  expected` → duplicate: drop (and report, so the server can
+//!   still acknowledge cumulative progress to unstick the sender).
+//! * `seq == expected` → release it plus any directly following held
+//!   batches, in sequence order.
+//! * `seq >  expected` → hold until the gap fills; offering the same held
+//!   seq twice keeps the first payload.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Outcome of offering one batch to the gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Offered {
+    /// The batch (and possibly held successors) appended; the released
+    /// run is `(seq, payload)` in strictly increasing, contiguous order.
+    Released(Vec<(u64, Bytes)>),
+    /// The batch is ahead of a gap and parked.
+    Held,
+    /// The batch was already released once; dropped.
+    Duplicate,
+}
+
+/// Gap-enforcement state for one `(stream, client)` pair.
+#[derive(Clone, Debug, Default)]
+pub struct ClientGate {
+    /// Next client sequence eligible for release.
+    next_seq: u64,
+    /// Batches parked above a gap, keyed by sequence.
+    held: BTreeMap<u64, Bytes>,
+}
+
+impl ClientGate {
+    /// Fresh gate expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a batch; see the module docs for the release rules.
+    pub fn offer(&mut self, seq: u64, payload: Bytes) -> Offered {
+        if seq < self.next_seq {
+            return Offered::Duplicate;
+        }
+        if seq > self.next_seq {
+            self.held.entry(seq).or_insert(payload);
+            return Offered::Held;
+        }
+        let mut run = vec![(seq, payload)];
+        self.next_seq = seq + 1;
+        while let Some(p) = self.held.remove(&self.next_seq) {
+            run.push((self.next_seq, p));
+            self.next_seq += 1;
+        }
+        Offered::Released(run)
+    }
+
+    /// Next sequence the gate will release (== cumulative released count).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of batches parked behind a gap.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    #[test]
+    fn in_order_releases_immediately() {
+        let mut g = ClientGate::new();
+        assert_eq!(g.offer(0, b("a")), Offered::Released(vec![(0, b("a"))]));
+        assert_eq!(g.offer(1, b("b")), Offered::Released(vec![(1, b("b"))]));
+        assert_eq!(g.next_seq(), 2);
+        assert_eq!(g.held_len(), 0);
+    }
+
+    #[test]
+    fn gap_holds_then_releases_run() {
+        let mut g = ClientGate::new();
+        assert_eq!(g.offer(2, b("c")), Offered::Held);
+        assert_eq!(g.offer(1, b("b")), Offered::Held);
+        assert_eq!(g.held_len(), 2);
+        assert_eq!(
+            g.offer(0, b("a")),
+            Offered::Released(vec![(0, b("a")), (1, b("b")), (2, b("c"))])
+        );
+        assert_eq!(g.held_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_drop_everywhere() {
+        let mut g = ClientGate::new();
+        g.offer(0, b("a"));
+        assert_eq!(g.offer(0, b("a2")), Offered::Duplicate);
+        // Duplicate of a held seq keeps the first payload.
+        assert_eq!(g.offer(2, b("c")), Offered::Held);
+        assert_eq!(g.offer(2, b("c2")), Offered::Held);
+        assert_eq!(g.offer(1, b("b")), Offered::Released(vec![(1, b("b")), (2, b("c"))]));
+        assert_eq!(g.offer(2, b("c3")), Offered::Duplicate);
+    }
+}

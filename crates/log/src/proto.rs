@@ -1,0 +1,280 @@
+//! Wire formats of the log service.
+//!
+//! Append batches travel on 1Pipe's *reliable scattering* channel (they
+//! need the total order and failure atomicity); everything else — acks
+//! with credit grants, subscriptions, record pushes, snapshot chunks,
+//! fetch repairs — rides the raw RPC path, which carries no ordering of
+//! its own (subscribers reassemble by offset).
+//!
+//! Encodings are length-guarded tag-byte formats in the style of the
+//! apps crate: a decode returns `None` on any truncation instead of
+//! panicking.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// First payload byte of every log-service message.
+pub mod tag {
+    /// Ordered channel: client append batch.
+    pub const APPEND: u8 = 0xA0;
+    /// Raw: shard → client cumulative ack + credit grant.
+    pub const ACK: u8 = 0xA1;
+    /// Raw: subscriber → shard stream subscription.
+    pub const SUBSCRIBE: u8 = 0xA2;
+    /// Raw: shard → subscriber live record push.
+    pub const RECORD: u8 = 0xA3;
+    /// Raw: shard → subscriber snapshot/replay chunk.
+    pub const CHUNK: u8 = 0xA4;
+    /// Raw: subscriber → shard pull-repair request.
+    pub const FETCH: u8 = 0xA5;
+}
+
+/// A client append batch (ordered channel).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Append {
+    /// Target stream (tenant).
+    pub stream: u64,
+    /// Submitting client's process index.
+    pub client: u32,
+    /// The client's monotonic batch sequence.
+    pub seq: u64,
+    /// Batch payload.
+    pub payload: Bytes,
+}
+
+impl Append {
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(25 + self.payload.len());
+        b.put_u8(tag::APPEND);
+        b.put_u64(self.stream);
+        b.put_u32(self.client);
+        b.put_u64(self.seq);
+        b.put_u32(self.payload.len() as u32);
+        b.put_slice(self.payload.as_slice());
+        b.freeze()
+    }
+
+    /// Decode from a payload that already consumed the tag byte.
+    pub fn decode(p: &mut Bytes) -> Option<Append> {
+        if p.remaining() < 24 {
+            return None;
+        }
+        let stream = p.get_u64();
+        let client = p.get_u32();
+        let seq = p.get_u64();
+        let len = p.get_u32() as usize;
+        if p.remaining() < len {
+            return None;
+        }
+        let payload = p.split_to(len);
+        Some(Append { stream, client, seq, payload })
+    }
+}
+
+/// Shard → client acknowledgement (raw path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Stream the batch targeted.
+    pub stream: u64,
+    /// Cumulative: all sequences `< seq_next` are appended.
+    pub seq_next: u64,
+    /// Stream log length at the shard (for observability).
+    pub log_len: u64,
+    /// Credit: max batches the client may have outstanding on this
+    /// stream. Shrinks when the tenant outruns its shard.
+    pub credit: u32,
+}
+
+impl Ack {
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(29);
+        b.put_u8(tag::ACK);
+        b.put_u64(self.stream);
+        b.put_u64(self.seq_next);
+        b.put_u64(self.log_len);
+        b.put_u32(self.credit);
+        b.freeze()
+    }
+
+    /// Decode from a payload that already consumed the tag byte.
+    pub fn decode(p: &mut Bytes) -> Option<Ack> {
+        if p.remaining() < 28 {
+            return None;
+        }
+        Some(Ack {
+            stream: p.get_u64(),
+            seq_next: p.get_u64(),
+            log_len: p.get_u64(),
+            credit: p.get_u32(),
+        })
+    }
+}
+
+/// Subscribe or fetch request: `(stream, from_offset)` (raw path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamReq {
+    /// Stream to subscribe to / repair.
+    pub stream: u64,
+    /// First offset the requester is missing.
+    pub from: u64,
+}
+
+impl StreamReq {
+    /// Encode with the given tag (`SUBSCRIBE` or `FETCH`).
+    pub fn encode(&self, t: u8) -> Bytes {
+        let mut b = BytesMut::with_capacity(17);
+        b.put_u8(t);
+        b.put_u64(self.stream);
+        b.put_u64(self.from);
+        b.freeze()
+    }
+
+    /// Decode from a payload that already consumed the tag byte.
+    pub fn decode(p: &mut Bytes) -> Option<StreamReq> {
+        if p.remaining() < 16 {
+            return None;
+        }
+        Some(StreamReq { stream: p.get_u64(), from: p.get_u64() })
+    }
+}
+
+/// One record as shipped to subscribers (inside pushes and chunks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireRecord {
+    /// Offset in the stream log.
+    pub offset: u64,
+    /// Submitting client.
+    pub client: u32,
+    /// Client batch sequence.
+    pub seq: u64,
+    /// True time the shard appended it (for end-to-end latency).
+    pub appended_at: u64,
+    /// Record payload.
+    pub payload: Bytes,
+}
+
+impl WireRecord {
+    fn put(&self, b: &mut BytesMut) {
+        b.put_u64(self.offset);
+        b.put_u32(self.client);
+        b.put_u64(self.seq);
+        b.put_u64(self.appended_at);
+        b.put_u32(self.payload.len() as u32);
+        b.put_slice(self.payload.as_slice());
+    }
+
+    fn get(p: &mut Bytes) -> Option<WireRecord> {
+        if p.remaining() < 32 {
+            return None;
+        }
+        let offset = p.get_u64();
+        let client = p.get_u32();
+        let seq = p.get_u64();
+        let appended_at = p.get_u64();
+        let len = p.get_u32() as usize;
+        if p.remaining() < len {
+            return None;
+        }
+        Some(WireRecord { offset, client, seq, appended_at, payload: p.split_to(len) })
+    }
+}
+
+/// Shard → subscriber record delivery: a live push (`RECORD`, one
+/// record) or a snapshot/replay chunk (`CHUNK`, a contiguous run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordSet {
+    /// Stream the records belong to.
+    pub stream: u64,
+    /// Shard's log length when sent (lets the subscriber detect that
+    /// more replay is needed beyond this chunk).
+    pub log_len: u64,
+    /// The records, contiguous by offset.
+    pub records: Vec<WireRecord>,
+}
+
+impl RecordSet {
+    /// Encode with the given tag (`RECORD` or `CHUNK`).
+    pub fn encode(&self, t: u8) -> Bytes {
+        let mut b = BytesMut::with_capacity(32 + self.records.len() * 40);
+        b.put_u8(t);
+        b.put_u64(self.stream);
+        b.put_u64(self.log_len);
+        b.put_u16(self.records.len() as u16);
+        for r in &self.records {
+            r.put(&mut b);
+        }
+        b.freeze()
+    }
+
+    /// Decode from a payload that already consumed the tag byte.
+    pub fn decode(p: &mut Bytes) -> Option<RecordSet> {
+        if p.remaining() < 18 {
+            return None;
+        }
+        let stream = p.get_u64();
+        let log_len = p.get_u64();
+        let n = p.get_u16() as usize;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(WireRecord::get(p)?);
+        }
+        Some(RecordSet { stream, log_len, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_roundtrip() {
+        let a = Append { stream: 9, client: 3, seq: 41, payload: Bytes::from(vec![7u8; 100]) };
+        let mut wire = a.encode();
+        assert_eq!(wire.get_u8(), tag::APPEND);
+        assert_eq!(Append::decode(&mut wire).unwrap(), a);
+    }
+
+    #[test]
+    fn ack_and_req_roundtrip() {
+        let a = Ack { stream: 1, seq_next: 17, log_len: 33, credit: 4 };
+        let mut wire = a.encode();
+        assert_eq!(wire.get_u8(), tag::ACK);
+        assert_eq!(Ack::decode(&mut wire).unwrap(), a);
+
+        let r = StreamReq { stream: 8, from: 12 };
+        let mut wire = r.encode(tag::FETCH);
+        assert_eq!(wire.get_u8(), tag::FETCH);
+        assert_eq!(StreamReq::decode(&mut wire).unwrap(), r);
+    }
+
+    #[test]
+    fn record_set_roundtrip() {
+        let rs = RecordSet {
+            stream: 5,
+            log_len: 10,
+            records: (0..3)
+                .map(|i| WireRecord {
+                    offset: 7 + i,
+                    client: 2,
+                    seq: i,
+                    appended_at: 1000 + i,
+                    payload: Bytes::from(vec![i as u8; (i + 1) as usize]),
+                })
+                .collect(),
+        };
+        let mut wire = rs.encode(tag::CHUNK);
+        assert_eq!(wire.get_u8(), tag::CHUNK);
+        assert_eq!(RecordSet::decode(&mut wire).unwrap(), rs);
+    }
+
+    #[test]
+    fn truncation_is_none() {
+        let a = Append { stream: 9, client: 3, seq: 41, payload: Bytes::from(vec![7u8; 100]) };
+        let wire = a.encode();
+        for cut in [1usize, 10, 24, 60] {
+            let mut p = wire.slice(1..cut);
+            assert!(Append::decode(&mut p).is_none(), "cut at {cut}");
+        }
+    }
+}

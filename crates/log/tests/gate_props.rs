@@ -1,0 +1,77 @@
+//! Property tests for the per-client gap-enforcement gate.
+//!
+//! The gate is the piece that turns "1Pipe delivers whatever arrives"
+//! into "the log appends each client's batches contiguously from
+//! sequence 0": whatever interleaving of duplicate, out-of-order, and
+//! missing sequences is thrown at it, what comes out must be *exactly*
+//! the longest contiguous prefix of what went in — never a gap, never a
+//! duplicate, never a reorder.
+//!
+//! The reference model is the defining property itself: after any
+//! prefix of offers, the multiset of released sequences equals
+//! `0..n` where `n` is the length of the longest contiguous-from-zero
+//! prefix of the *set* of sequences offered so far.
+
+use bytes::Bytes;
+use onepipe_log::gate::{ClientGate, Offered};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Longest contiguous-from-zero prefix length of `offered`.
+fn contiguous_prefix(offered: &BTreeSet<u64>) -> u64 {
+    let mut n = 0u64;
+    while offered.contains(&n) {
+        n += 1;
+    }
+    n
+}
+
+proptest! {
+    /// Arbitrary interleavings (duplicates, reorders, gaps) release
+    /// exactly the contiguous prefix, in order, exactly once each.
+    #[test]
+    fn releases_exactly_the_contiguous_prefix(raw in proptest::collection::vec(any::<u64>(), 1..120)) {
+        // Squash sequences into a small range so duplicates and
+        // near-misses are common, with the occasional far gap.
+        let seqs: Vec<u64> = raw
+            .iter()
+            .map(|r| if r % 7 == 0 { 40 + r % 20 } else { r % 24 })
+            .collect();
+
+        let mut gate = ClientGate::new();
+        let mut offered = BTreeSet::new();
+        let mut released = Vec::new();
+
+        for &seq in &seqs {
+            let fresh = offered.insert(seq);
+            match gate.offer(seq, Bytes::from(seq.to_le_bytes().to_vec())) {
+                Offered::Released(batch) => {
+                    for (s, payload) in batch {
+                        // Payload sticks to its sequence through the hold.
+                        prop_assert_eq!(payload.as_ref(), &s.to_le_bytes());
+                        released.push(s);
+                    }
+                }
+                Offered::Duplicate => {
+                    // Only ever reported for something already offered.
+                    prop_assert!(!fresh, "fresh seq {seq} called a duplicate");
+                }
+                Offered::Held => {
+                    prop_assert!(seq > gate.next_seq(), "held a due seq {seq}");
+                }
+            }
+
+            // The invariant, re-checked after every single offer.
+            let want = contiguous_prefix(&offered);
+            prop_assert_eq!(
+                &released,
+                &(0..want).collect::<Vec<_>>(),
+                "after offering {:?}", &seqs
+            );
+            prop_assert_eq!(gate.next_seq(), want);
+            // Everything offered beyond the prefix is held, once each.
+            let held_want = offered.iter().filter(|&&s| s >= want).count();
+            prop_assert_eq!(gate.held_len(), held_want);
+        }
+    }
+}

@@ -19,6 +19,7 @@ pub use onepipe_chaos as chaos;
 pub use onepipe_clock as clock;
 pub use onepipe_controller as controller;
 pub use onepipe_core as service;
+pub use onepipe_log as log;
 pub use onepipe_netsim as sim;
 pub use onepipe_switchlogic as switchlogic;
 pub use onepipe_types as types;
