@@ -486,15 +486,14 @@ impl AppHook for HtApp {
 mod tests {
     use super::*;
     use onepipe_core::harness::{Cluster, ClusterConfig};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn run_ht(
         mode: HtMode,
         workload: HtWorkload,
         replicas: usize,
         dur_us: u64,
-    ) -> Rc<RefCell<HtApp>> {
+    ) -> Arc<Mutex<HtApp>> {
         let mut cfg = HtConfig::paper_default(mode, workload, replicas);
         cfg.shards = 4;
         cfg.clients = 4;
@@ -504,7 +503,7 @@ mod tests {
         // within each insert.
         cfg.pipeline = 32;
         let mut cluster = Cluster::new(ClusterConfig::testbed(cfg.total_procs()));
-        let app = Rc::new(RefCell::new(HtApp::new(cfg)));
+        let app = Arc::new(Mutex::new(HtApp::new(cfg)));
         cluster.set_app(app.clone());
         cluster.run_for(dur_us * 1_000);
         app
@@ -513,7 +512,7 @@ mod tests {
     #[test]
     fn onepipe_insert_completes_and_replicates() {
         let app = run_ht(HtMode::OnePipe, HtWorkload::Insert, 3, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 20, "completed {}", app.completed.len());
         // Replicas must hold identical bucket contents for any bucket
         // where all replicas saw all inserts (total order ⇒ same list
@@ -539,8 +538,8 @@ mod tests {
     fn baseline_insert_uses_two_rounds() {
         let op1 = run_ht(HtMode::OnePipe, HtWorkload::Insert, 1, 2_000);
         let base = run_ht(HtMode::Baseline, HtWorkload::Insert, 1, 2_000);
-        let n1 = op1.borrow().completed.len();
-        let nb = base.borrow().completed.len();
+        let n1 = op1.lock().unwrap().completed.len();
+        let nb = base.lock().unwrap().completed.len();
         assert!(n1 > 0 && nb > 0);
         // Without replication the paper reports 1.9×; accept >1.2×.
         assert!(n1 as f64 > nb as f64 * 1.2, "1Pipe {n1} should beat fenced baseline {nb}");
@@ -550,7 +549,7 @@ mod tests {
     fn lookups_complete_in_both_modes() {
         let op = run_ht(HtMode::OnePipe, HtWorkload::Lookup, 2, 2_000);
         let base = run_ht(HtMode::Baseline, HtWorkload::Lookup, 2, 2_000);
-        assert!(op.borrow().completed.len() > 20);
-        assert!(base.borrow().completed.len() > 20);
+        assert!(op.lock().unwrap().completed.len() > 20);
+        assert!(base.lock().unwrap().completed.len() > 20);
     }
 }

@@ -791,14 +791,13 @@ impl AppHook for KvsApp {
 mod tests {
     use super::*;
     use onepipe_core::harness::{Cluster, ClusterConfig};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
-    fn run_kvs(mode: KvsMode, dur_us: u64) -> Rc<RefCell<KvsApp>> {
+    fn run_kvs(mode: KvsMode, dur_us: u64) -> Arc<Mutex<KvsApp>> {
         let mut cluster = Cluster::new(ClusterConfig::single_rack(4, 4));
         let mut kcfg = KvsConfig::paper_default(mode, 4, KeyDist::uniform(10_000));
         kcfg.pipeline = 2;
-        let app = Rc::new(RefCell::new(KvsApp::new(kcfg)));
+        let app = Arc::new(Mutex::new(KvsApp::new(kcfg)));
         cluster.set_app(app.clone());
         cluster.run_for(dur_us * 1_000);
         app
@@ -807,7 +806,7 @@ mod tests {
     #[test]
     fn onepipe_kvs_completes_transactions() {
         let app = run_kvs(KvsMode::OnePipe, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 50, "only {} transactions completed", app.completed.len());
         // All three kinds appear.
         let kinds: std::collections::HashSet<u8> = app.completed.iter().map(|r| r.kind).collect();
@@ -818,7 +817,7 @@ mod tests {
     #[test]
     fn farm_kvs_completes_transactions() {
         let app = run_kvs(KvsMode::Farm, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 50, "only {} transactions completed", app.completed.len());
     }
 
@@ -826,8 +825,8 @@ mod tests {
     fn nontx_kvs_is_fastest() {
         let nontx = run_kvs(KvsMode::NonTx, 2_000);
         let farm = run_kvs(KvsMode::Farm, 2_000);
-        let n1 = nontx.borrow().completed.len();
-        let n2 = farm.borrow().completed.len();
+        let n1 = nontx.lock().unwrap().completed.len();
+        let n2 = farm.lock().unwrap().completed.len();
         assert!(n1 > n2, "NonTX ({n1}) must outrun FaRM ({n2})");
     }
 
@@ -842,11 +841,11 @@ mod tests {
             pipeline: 4,
             ..KvsConfig::paper_default(KvsMode::Farm, 4, KeyDist::uniform(4))
         };
-        let app = Rc::new(RefCell::new(KvsApp::new(kcfg)));
+        let app = Arc::new(Mutex::new(KvsApp::new(kcfg)));
         cluster.set_app(app.clone());
         cluster.run_for(3_000_000);
-        assert!(app.borrow().aborts > 0, "contention must cause OCC aborts");
-        assert!(!app.borrow().completed.is_empty());
+        assert!(app.lock().unwrap().aborts > 0, "contention must cause OCC aborts");
+        assert!(!app.lock().unwrap().completed.is_empty());
     }
 
     #[test]
@@ -859,10 +858,10 @@ mod tests {
             pipeline: 4,
             ..KvsConfig::paper_default(KvsMode::OnePipe, 4, KeyDist::uniform(4))
         };
-        let app = Rc::new(RefCell::new(KvsApp::new(kcfg)));
+        let app = Arc::new(Mutex::new(KvsApp::new(kcfg)));
         cluster.set_app(app.clone());
         cluster.run_for(3_000_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 50);
         assert_eq!(app.aborts, 0);
     }

@@ -334,13 +334,12 @@ mod tests {
     use super::*;
     use onepipe_core::harness::{Cluster, ClusterConfig};
     use onepipe_netsim::stats::Samples;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
-    fn run_storage(mode: StorageMode, dur_us: u64) -> Rc<RefCell<StorageApp>> {
+    fn run_storage(mode: StorageMode, dur_us: u64) -> Arc<Mutex<StorageApp>> {
         let cfg = StorageConfig::paper_default(mode);
         let mut cluster = Cluster::new(ClusterConfig::single_rack(4, 4));
-        let app = Rc::new(RefCell::new(StorageApp::new(cfg)));
+        let app = Arc::new(Mutex::new(StorageApp::new(cfg)));
         cluster.set_app(app.clone());
         cluster.run_for(dur_us * 1_000);
         app
@@ -357,7 +356,7 @@ mod tests {
     #[test]
     fn onepipe_writes_complete_with_matching_checksums() {
         let app = run_storage(StorageMode::OnePipe, 20_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 20, "completed {}", app.completed.len());
         assert_eq!(app.mismatches, 0);
         // All replicas persisted every write.
@@ -368,7 +367,7 @@ mod tests {
     #[test]
     fn chain_writes_complete() {
         let app = run_storage(StorageMode::Chain, 20_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 10, "completed {}", app.completed.len());
     }
 
@@ -376,8 +375,8 @@ mod tests {
     fn onepipe_latency_is_much_lower_than_chain() {
         let op = run_storage(StorageMode::OnePipe, 30_000);
         let chain = run_storage(StorageMode::Chain, 30_000);
-        let lo = latencies(&op.borrow());
-        let lc = latencies(&chain.borrow());
+        let lo = latencies(&op.lock().unwrap());
+        let lc = latencies(&chain.lock().unwrap());
         assert!(lo.len() > 10 && lc.len() > 10);
         // Paper: 160 µs → 58 µs (64 % reduction). Require ≥ 2×.
         assert!(

@@ -733,14 +733,13 @@ impl AppHook for TpccApp {
 mod tests {
     use super::*;
     use onepipe_core::harness::{Cluster, ClusterConfig};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
-    fn run_tpcc(mode: TpccMode, procs: usize, dur_us: u64) -> Rc<RefCell<TpccApp>> {
+    fn run_tpcc(mode: TpccMode, procs: usize, dur_us: u64) -> Arc<Mutex<TpccApp>> {
         let mut cluster = Cluster::new(ClusterConfig::testbed(procs));
         let mut cfg = TpccConfig::paper_default(mode, procs);
         cfg.pipeline = 2;
-        let app = Rc::new(RefCell::new(TpccApp::new(cfg)));
+        let app = Arc::new(Mutex::new(TpccApp::new(cfg)));
         cluster.set_app(app.clone());
         cluster.run_for(dur_us * 1_000);
         app
@@ -749,7 +748,7 @@ mod tests {
     #[test]
     fn onepipe_tpcc_commits_without_aborts() {
         let app = run_tpcc(TpccMode::OnePipe, 16, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 20, "completed {}", app.completed.len());
         assert_eq!(app.aborts, 0);
     }
@@ -757,7 +756,7 @@ mod tests {
     #[test]
     fn onepipe_replica_states_converge() {
         let app = run_tpcc(TpccMode::OnePipe, 16, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         for w in 0..4 {
             let (a0, ytd0, oid0) = app.state_of(w, 0);
             for r in 1..3 {
@@ -775,7 +774,7 @@ mod tests {
     #[test]
     fn lock_mode_commits_and_conflicts() {
         let app = run_tpcc(TpccMode::Lock, 16, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 10, "completed {}", app.completed.len());
         assert!(app.aborts > 0, "16 clients on 4 warehouses must conflict");
     }
@@ -783,7 +782,7 @@ mod tests {
     #[test]
     fn occ_mode_commits() {
         let app = run_tpcc(TpccMode::Occ, 16, 3_000);
-        let app = app.borrow();
+        let app = app.lock().unwrap();
         assert!(app.completed.len() > 10, "completed {}", app.completed.len());
     }
 
@@ -792,10 +791,10 @@ mod tests {
         let nontx = run_tpcc(TpccMode::NonTx, 16, 2_000);
         let lock = run_tpcc(TpccMode::Lock, 16, 2_000);
         assert!(
-            nontx.borrow().completed.len() > lock.borrow().completed.len(),
+            nontx.lock().unwrap().completed.len() > lock.lock().unwrap().completed.len(),
             "NonTX {} vs Lock {}",
-            nontx.borrow().completed.len(),
-            lock.borrow().completed.len()
+            nontx.lock().unwrap().completed.len(),
+            lock.lock().unwrap().completed.len()
         );
     }
 
@@ -803,7 +802,7 @@ mod tests {
     fn both_txn_kinds_appear() {
         let app = run_tpcc(TpccMode::OnePipe, 16, 3_000);
         let kinds: std::collections::HashSet<u8> =
-            app.borrow().completed.iter().map(|r| r.kind).collect();
+            app.lock().unwrap().completed.iter().map(|r| r.kind).collect();
         assert!(kinds.contains(&KIND_NEW_ORDER));
         assert!(kinds.contains(&KIND_PAYMENT));
     }

@@ -133,7 +133,7 @@ impl LamportHost {
                 break;
             }
             self.pending[i].remove(&(ts, origin, k));
-            self.probe.borrow_mut().record_delivery(
+            self.probe.lock().unwrap().record_delivery(
                 now,
                 self.procs[i],
                 ProcessId(origin),
@@ -219,7 +219,7 @@ impl NodeLogic for LamportHost {
             self.sent[i] += 1;
             self.lts[i] += 1;
             let ts = self.lts[i];
-            self.probe.borrow_mut().record_send(ctx.now(), origin, k);
+            self.probe.lock().unwrap().record_send(ctx.now(), origin, k);
             for &p in &self.all_procs.clone() {
                 if let Some(j) = self.local_index(p) {
                     self.pending[j].insert((ts, origin.0, k), ());
@@ -242,12 +242,12 @@ mod tests {
     use onepipe_netsim::engine::Sim;
     use onepipe_netsim::topology::{FatTreeParams, Topology};
     use onepipe_types::process_map::ProcessMap;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn run_lamport(n: usize, rate: f64, exchange: u64, dur: u64) -> ProbeHandle {
         let mut sim = Sim::new(5);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
-        let procs = Rc::new(ProcessMap::place_round_robin(n, n));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
+        let procs = Arc::new(ProcessMap::place_round_robin(n, n));
         PlainSwitch::install_all(&mut sim, &topo, &procs);
         let probe = BroadcastProbe::shared();
         let all: Vec<ProcessId> = procs.all().collect();
@@ -272,16 +272,16 @@ mod tests {
     #[test]
     fn lamport_delivers_in_consistent_order() {
         let probe = run_lamport(4, 100_000.0, 10_000, 3_000_000);
-        assert!(probe.borrow().delivery_count() > 0);
-        assert_eq!(probe.borrow().order_violations, 0);
+        assert!(probe.lock().unwrap().delivery_count() > 0);
+        assert_eq!(probe.lock().unwrap().order_violations, 0);
     }
 
     #[test]
     fn shorter_exchange_interval_means_lower_latency() {
         let fast = run_lamport(4, 50_000.0, 5_000, 3_000_000);
         let slow = run_lamport(4, 50_000.0, 50_000, 3_000_000);
-        let fm = fast.borrow().metrics(4, 500_000, 3_000_000);
-        let sm = slow.borrow().metrics(4, 500_000, 3_000_000);
+        let fm = fast.lock().unwrap().metrics(4, 500_000, 3_000_000);
+        let sm = slow.lock().unwrap().metrics(4, 500_000, 3_000_000);
         assert!(fm.latency.mean() > 0.0 && sm.latency.mean() > 0.0);
         assert!(
             fm.latency.mean() < sm.latency.mean(),

@@ -2,9 +2,8 @@
 
 use onepipe_netsim::stats::Samples;
 use onepipe_types::ids::ProcessId;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Records sends and deliveries of broadcast messages identified by
 /// `(origin process, per-origin counter)` and derives throughput/latency.
@@ -18,12 +17,12 @@ pub struct BroadcastProbe {
 }
 
 /// Shared handle to a probe.
-pub type ProbeHandle = Rc<RefCell<BroadcastProbe>>;
+pub type ProbeHandle = Arc<Mutex<BroadcastProbe>>;
 
 impl BroadcastProbe {
     /// New shared probe.
     pub fn shared() -> ProbeHandle {
-        Rc::new(RefCell::new(BroadcastProbe::default()))
+        Arc::new(Mutex::new(BroadcastProbe::default()))
     }
 
     /// Record a broadcast send at true time `at`.

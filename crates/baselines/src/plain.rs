@@ -4,13 +4,13 @@ use onepipe_netsim::engine::{Ctx, NodeLogic, SimPacket};
 use onepipe_netsim::topology::Topology;
 use onepipe_types::ids::{HostId, NodeId, ProcessId};
 use onepipe_types::process_map::ProcessMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Forwards every packet toward its destination process's host, nothing
 /// else — the behaviour of an ordinary data center switch.
 pub struct PlainSwitch {
-    topo: Rc<Topology>,
-    procs: Rc<ProcessMap>,
+    topo: Arc<Topology>,
+    procs: Arc<ProcessMap>,
     /// Packets forwarded.
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
@@ -19,15 +19,15 @@ pub struct PlainSwitch {
 
 impl PlainSwitch {
     /// Create a plain switch.
-    pub fn new(topo: Rc<Topology>, procs: Rc<ProcessMap>) -> Self {
+    pub fn new(topo: Arc<Topology>, procs: Arc<ProcessMap>) -> Self {
         PlainSwitch { topo, procs, forwarded: 0, unroutable: 0 }
     }
 
     /// Install plain switches on every switch node of a topology.
     pub fn install_all(
         sim: &mut onepipe_netsim::engine::Sim,
-        topo: &Rc<Topology>,
-        procs: &Rc<ProcessMap>,
+        topo: &Arc<Topology>,
+        procs: &Arc<ProcessMap>,
     ) {
         for &s in &topo.switch_nodes {
             sim.set_logic(s, Box::new(PlainSwitch::new(topo.clone(), procs.clone())));
@@ -65,12 +65,12 @@ mod tests {
     use onepipe_netsim::topology::FatTreeParams;
     use onepipe_types::time::Timestamp;
     use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
-    use std::cell::RefCell;
+    use std::sync::Mutex;
 
     struct Probe {
         tor: NodeId,
         out: Vec<Datagram>,
-        got: Rc<RefCell<Vec<Datagram>>>,
+        got: Arc<Mutex<Vec<Datagram>>>,
     }
     impl NodeLogic for Probe {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -79,17 +79,17 @@ mod tests {
             }
         }
         fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, pkt: SimPacket) {
-            self.got.borrow_mut().push(pkt.dgram);
+            self.got.lock().unwrap().push(pkt.dgram);
         }
     }
 
     #[test]
     fn plain_switch_routes_across_pods() {
         let mut sim = Sim::new(0);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::testbed()));
-        let procs = Rc::new(ProcessMap::place_round_robin(32, 32));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::testbed()));
+        let procs = Arc::new(ProcessMap::place_round_robin(32, 32));
         PlainSwitch::install_all(&mut sim, &topo, &procs);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let d = Datagram {
             src: ProcessId(0),
             dst: ProcessId(31),
@@ -107,14 +107,14 @@ mod tests {
             topo.host_node(HostId(0)),
             Box::new(Probe { tor: topo.tor_up_of(HostId(0)), out: vec![d], got: got.clone() }),
         );
-        let sink = Rc::new(RefCell::new(Vec::new()));
+        let sink = Arc::new(Mutex::new(Vec::new()));
         sim.set_logic(
             topo.host_node(HostId(31)),
             Box::new(Probe { tor: topo.tor_up_of(HostId(31)), out: vec![], got: sink.clone() }),
         );
         sim.run_until(1_000_000);
-        assert_eq!(sink.borrow().len(), 1);
-        assert_eq!(sink.borrow()[0].header.psn, 7);
-        assert!(got.borrow().is_empty());
+        assert_eq!(sink.lock().unwrap().len(), 1);
+        assert_eq!(sink.lock().unwrap()[0].header.psn, 7);
+        assert!(got.lock().unwrap().is_empty());
     }
 }

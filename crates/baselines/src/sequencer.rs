@@ -226,7 +226,13 @@ impl NodeLogic for SeqHost {
             let seq = self.next_deliver[i];
             self.pending[i].remove(&seq);
             self.next_deliver[i] += 1;
-            self.probe.borrow_mut().record_delivery(ctx.now(), self.procs[i], origin, k, (seq, 0));
+            self.probe.lock().unwrap().record_delivery(
+                ctx.now(),
+                self.procs[i],
+                origin,
+                k,
+                (seq, 0),
+            );
         }
     }
 
@@ -243,7 +249,7 @@ impl NodeLogic for SeqHost {
             let origin = self.procs[i];
             let k = self.sent[i];
             self.sent[i] += 1;
-            self.probe.borrow_mut().record_send(ctx.now(), origin, k);
+            self.probe.lock().unwrap().record_send(ctx.now(), origin, k);
             let d = dgram(origin, self.seq_proc, u32::MAX, req_payload(origin, k));
             if self.local_index(self.seq_proc).is_some() {
                 // Request to a sequencer on this very host: short-circuit.
@@ -277,12 +283,12 @@ mod tests {
     use onepipe_netsim::engine::Sim;
     use onepipe_netsim::topology::{FatTreeParams, Topology};
     use onepipe_types::process_map::ProcessMap;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn run_seq(kind: SeqKind, n: usize, rate: f64, dur_ns: u64) -> (ProbeHandle, usize) {
         let mut sim = Sim::new(3);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
-        let procs = Rc::new(ProcessMap::place_round_robin(n, n));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
+        let procs = Arc::new(ProcessMap::place_round_robin(n, n));
         PlainSwitch::install_all(&mut sim, &topo, &procs);
         let probe = BroadcastProbe::shared();
         let all: Vec<ProcessId> = procs.all().collect();
@@ -302,7 +308,7 @@ mod tests {
             sim.set_logic(topo.host_node(host), Box::new(logic));
         }
         sim.run_until(dur_ns);
-        let n_del = probe.borrow().delivery_count();
+        let n_del = probe.lock().unwrap().delivery_count();
         (probe, n_del)
     }
 
@@ -310,7 +316,7 @@ mod tests {
     fn sequencer_delivers_in_total_order() {
         let (probe, n_del) = run_seq(SeqKind::Switch, 4, 100_000.0, 1_000_000);
         assert!(n_del > 0, "deliveries happened");
-        assert_eq!(probe.borrow().order_violations, 0);
+        assert_eq!(probe.lock().unwrap().order_violations, 0);
     }
 
     #[test]
@@ -326,8 +332,8 @@ mod tests {
         // With lossy links, gap NAKs must keep delivery flowing instead of
         // stalling forever behind the first hole.
         let mut sim = Sim::new(17);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(4)));
-        let procs = Rc::new(ProcessMap::place_round_robin(4, 4));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::single_rack(4)));
+        let procs = Arc::new(ProcessMap::place_round_robin(4, 4));
         PlainSwitch::install_all(&mut sim, &topo, &procs);
         sim.set_global_loss_rate(0.02);
         let probe = BroadcastProbe::shared();
@@ -348,7 +354,7 @@ mod tests {
             sim.set_logic(topo.host_node(host), Box::new(logic));
         }
         sim.run_until(20_000_000);
-        let p = probe.borrow();
+        let p = probe.lock().unwrap();
         assert_eq!(p.order_violations, 0);
         // 4 procs × 200 sends × 4 receivers = 3200 expected deliveries;
         // requests to the sequencer can be lost too (those broadcasts never
@@ -362,6 +368,6 @@ mod tests {
         // Each sequenced broadcast is delivered to all 4 processes.
         assert_eq!(n_del % 4, 0);
         assert!(n_del >= 4);
-        assert_eq!(probe.borrow().order_violations, 0);
+        assert_eq!(probe.lock().unwrap().order_violations, 0);
     }
 }

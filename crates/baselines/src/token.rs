@@ -166,7 +166,7 @@ impl TokenHost {
             let seq = self.next_deliver[i];
             self.pending[i].remove(&seq);
             self.next_deliver[i] += 1;
-            self.probe.borrow_mut().record_delivery(now, receiver, origin, k, (seq, 0));
+            self.probe.lock().unwrap().record_delivery(now, receiver, origin, k, (seq, 0));
         }
     }
 }
@@ -216,7 +216,7 @@ impl NodeLogic for TokenHost {
             }
             let k = self.sent[i];
             self.sent[i] += 1;
-            self.probe.borrow_mut().record_send(ctx.now(), self.procs[i], k);
+            self.probe.lock().unwrap().record_send(ctx.now(), self.procs[i], k);
             self.queued[i].push(k);
             ctx.set_timer(self.interval(), token);
         }
@@ -231,12 +231,12 @@ mod tests {
     use onepipe_netsim::engine::Sim;
     use onepipe_netsim::topology::{FatTreeParams, Topology};
     use onepipe_types::process_map::ProcessMap;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn run_token(n: usize, rate: f64, dur: u64) -> ProbeHandle {
         let mut sim = Sim::new(4);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
-        let procs = Rc::new(ProcessMap::place_round_robin(n, n));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n as u32)));
+        let procs = Arc::new(ProcessMap::place_round_robin(n, n));
         PlainSwitch::install_all(&mut sim, &topo, &procs);
         let probe = BroadcastProbe::shared();
         let all: Vec<ProcessId> = procs.all().collect();
@@ -264,8 +264,8 @@ mod tests {
     #[test]
     fn token_ring_delivers_in_order() {
         let probe = run_token(4, 200_000.0, 2_000_000);
-        assert!(probe.borrow().delivery_count() > 0);
-        assert_eq!(probe.borrow().order_violations, 0);
+        assert!(probe.lock().unwrap().delivery_count() > 0);
+        assert_eq!(probe.lock().unwrap().order_violations, 0);
     }
 
     #[test]
@@ -273,7 +273,7 @@ mod tests {
         // Offered load far above what one-at-a-time can serve: deliveries
         // must lag far behind sends × receivers.
         let probe = run_token(8, 5_000_000.0, 2_000_000);
-        let p = probe.borrow();
+        let p = probe.lock().unwrap();
         let delivered_broadcasts = p.delivery_count() / 8;
         // 2 ms at 5 M/s per process × 8 procs = 80 000 offered broadcasts.
         assert!(

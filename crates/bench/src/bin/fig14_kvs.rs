@@ -11,8 +11,7 @@ use onepipe_apps::metrics::TxnMetrics;
 use onepipe_apps::workload::KeyDist;
 use onepipe_bench::{full_mode, row, us};
 use onepipe_core::harness::{Cluster, ClusterConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 struct Outcome {
     tput_per_proc: f64,
@@ -33,11 +32,11 @@ fn run(mut kcfg: KvsConfig, dur_ns: u64, seed: u64) -> Outcome {
     kcfg.pipeline = 16;
     kcfg.server_op_ns = 500;
     let mut cluster = Cluster::new(cfg);
-    let app = Rc::new(RefCell::new(KvsApp::new(kcfg)));
+    let app = Arc::new(Mutex::new(KvsApp::new(kcfg)));
     cluster.set_app(app.clone());
     cluster.run_for(dur_ns);
     let t1 = cluster.sim.now();
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     let metrics = TxnMetrics::over_window(&app.completed, t1 / 5, t1);
     Outcome { tput_per_proc: metrics.tput / n as f64 / 1e6, metrics }
 }

@@ -12,8 +12,7 @@ use onepipe_apps::tpcc::{TpccApp, TpccConfig, TpccMode};
 use onepipe_bench::{full_mode, row};
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_types::ids::HostId;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn run(mode: TpccMode, n: usize, loss: f64, dur: u64, seed: u64) -> f64 {
     let mut cfg = ClusterConfig::testbed(n);
@@ -24,11 +23,11 @@ fn run(mode: TpccMode, n: usize, loss: f64, dur: u64, seed: u64) -> f64 {
     }
     let mut tcfg = TpccConfig::paper_default(mode, n);
     tcfg.pipeline = 2;
-    let app = Rc::new(RefCell::new(TpccApp::new(tcfg)));
+    let app = Arc::new(Mutex::new(TpccApp::new(tcfg)));
     cluster.set_app(app.clone());
     cluster.run_for(dur);
     let t1 = cluster.sim.now();
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     let m = TxnMetrics::over_window(&app.completed, t1 / 5, t1);
     m.tput / 1e6
 }
@@ -41,7 +40,7 @@ fn recovery() {
     let mut tcfg = TpccConfig::paper_default(TpccMode::OnePipe, 16);
     tcfg.pipeline = 2;
     tcfg.retry_timeout = 500_000;
-    let app = Rc::new(RefCell::new(TpccApp::new(tcfg)));
+    let app = Arc::new(Mutex::new(TpccApp::new(tcfg)));
     cluster.set_app(app.clone());
     cluster.run_for(500_000);
     // Kill the host of warehouse 3's third replica (process 11 → host 11).
@@ -51,7 +50,8 @@ fn recovery() {
     // Detection+removal time: first failure announcement.
     let announce_at = cluster
         .user_events
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .find(|(_, _, ev)| matches!(ev, onepipe_core::events::UserEvent::ProcessFailed { .. }))
         .map(|(at, _, _)| *at);
@@ -63,7 +63,7 @@ fn recovery() {
         None => println!("no failure announcement observed"),
     }
     // Affected-transaction delay: retried transactions' total latency.
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     let retried: Vec<f64> = app
         .completed
         .iter()

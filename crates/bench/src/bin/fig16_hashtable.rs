@@ -10,8 +10,7 @@ use onepipe_apps::hashtable::{HtApp, HtConfig, HtMode, HtWorkload};
 use onepipe_apps::metrics::TxnMetrics;
 use onepipe_bench::row;
 use onepipe_core::harness::{Cluster, ClusterConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn run(mode: HtMode, workload: HtWorkload, replicas: usize, seed: u64) -> f64 {
     let mut cfg = HtConfig::paper_default(mode, workload, replicas);
@@ -29,12 +28,12 @@ fn run(mode: HtMode, workload: HtWorkload, replicas: usize, seed: u64) -> f64 {
     let mut ccfg = ClusterConfig::testbed(total);
     ccfg.seed = seed;
     let mut cluster = Cluster::new(ccfg);
-    let app = Rc::new(RefCell::new(HtApp::new(cfg)));
+    let app = Arc::new(Mutex::new(HtApp::new(cfg)));
     cluster.set_app(app.clone());
     let dur = 2_000_000;
     cluster.run_for(dur);
     let t1 = cluster.sim.now();
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     let m = TxnMetrics::over_window(&app.completed, t1 / 5, t1);
     // Per-client op/s, in M (the paper's y-axis).
     m.tput / clients as f64 / 1e6

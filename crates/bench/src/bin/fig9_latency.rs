@@ -8,7 +8,7 @@
 //!     the paper's loss simulation ("we simulate random message drop in
 //!     lib1pipe receiver").
 
-use onepipe_bench::{full_mode, row, run_onepipe_unicast, us};
+use onepipe_bench::{full_mode, parse_threads, row, run_onepipe_unicast, us};
 use onepipe_core::config::EndpointConfig;
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_switchlogic::switch::Incarnation;
@@ -27,6 +27,7 @@ fn cluster(n: usize, incarnation: Incarnation, unordered: bool, drop: f64) -> Cl
     e.rx_drop_rate = drop;
     cfg.endpoint = e;
     cfg.seed = 42;
+    cfg.threads = parse_threads();
     Cluster::new(cfg)
 }
 
@@ -60,7 +61,11 @@ fn main() {
         "R-host".into(),
         "unorder".into(),
     ]);
-    let sizes: Vec<usize> = if full_mode() { vec![8, 16, 32, 64] } else { vec![8, 16, 32] };
+    // --full sweeps to the paper's 512 processes (16 per testbed host);
+    // hop count — and hence idle latency — stops growing past 32 because
+    // the fat-tree depth is fixed, which is the shape under test.
+    let sizes: Vec<usize> =
+        if full_mode() { vec![8, 16, 32, 64, 128, 512] } else { vec![8, 16, 32] };
     for &n in &sizes {
         let be_chip = run(n, chip, false, false, 0.0);
         let be_host = run(n, host, false, false, 0.0);

@@ -22,9 +22,8 @@
 
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_log::service::{DriveConfig, LogConfig, LogService};
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One measured deployment.
@@ -98,14 +97,14 @@ fn run_point(sweep: &'static str, mut cfg: LogConfig, smoke: bool) -> Point {
     ccfg.seed = 7 + cfg.n_streams + cfg.fanout as u64;
     cfg.seed = ccfg.seed;
     let mut cluster = Cluster::new(ccfg);
-    let app = Rc::new(RefCell::new(LogService::new(cfg.clone())));
+    let app = Arc::new(Mutex::new(LogService::new(cfg.clone())));
     cluster.set_app(app.clone());
 
     let wall = Instant::now();
     cluster.run_until(run_until);
     let wall_s = wall.elapsed().as_secs_f64();
 
-    let svc = app.borrow();
+    let svc = app.lock().unwrap();
     let lat = svc.append_latency_ns.merged();
     let totals = svc.tenant_totals().totals();
     Point {

@@ -10,6 +10,7 @@
 //! ```bash
 //! cargo run --release -p onepipe-bench --bin perfbench            # full
 //! cargo run --release -p onepipe-bench --bin perfbench -- --smoke # CI
+//! cargo run --release -p onepipe-bench --bin perfbench -- --threads 4
 //! ```
 //!
 //! Workloads (both deterministic, fixed seeds):
@@ -17,6 +18,13 @@
 //!   32-server testbed fat-tree — barrier-heavy, fan-out-heavy.
 //! - `incast`: every process unicasts to process 0 — stresses one
 //!   reorder buffer and the ECMP down-path.
+//!
+//! Each workload is measured three ways: on the legacy single-queue
+//! engine (`threads = 0`, entry name unchanged for trend continuity), on
+//! the rack-sharded engine with one compute lane (`_t1` suffix — the
+//! deterministic baseline), and with `--threads N` lanes (`_tN` suffix;
+//! N defaults to the machine's available parallelism). The sharded runs
+//! must be bit-identical to each other — perfbench asserts it.
 //!
 //! Wall-clock rates vary with the machine; the JSON is *report-only*
 //! (trend data), not a gating threshold. Compare ratios between commits
@@ -31,7 +39,9 @@ use std::time::Instant;
 
 /// Result of one measured workload.
 struct WorkloadReport {
-    name: &'static str,
+    name: String,
+    /// Engine selection: 0 = legacy single-queue, N ≥ 1 = sharded lanes.
+    threads: usize,
     /// Engine events processed.
     events: u64,
     /// Application-level deliveries observed.
@@ -42,6 +52,14 @@ struct WorkloadReport {
     wall_s: f64,
     /// Peak total receive-side reorder-buffer bytes across all hosts.
     peak_reorder_bytes: usize,
+    /// Sharded engine only: number of rack shards in the partition.
+    shards: usize,
+    /// Sharded engine only: packets that crossed a shard boundary.
+    cross_shard_msgs: u64,
+    /// Sharded engine only: per-shard windows with work, summed.
+    windows: u64,
+    /// Sharded engine only: per-shard windows stalled on lookahead.
+    stalled_windows: u64,
 }
 
 impl WorkloadReport {
@@ -55,7 +73,7 @@ impl WorkloadReport {
 
     fn print(&self) {
         println!(
-            "{:>16}: {:>10} events in {:>6.3} s  ({:>12.0} events/s, {:>10.0} deliveries/s, peak reorder {} B, sim {} ns)",
+            "{:>20}: {:>10} events in {:>6.3} s  ({:>12.0} events/s, {:>10.0} deliveries/s, peak reorder {} B, sim {} ns)",
             self.name,
             self.events,
             self.wall_s,
@@ -64,12 +82,24 @@ impl WorkloadReport {
             self.peak_reorder_bytes,
             self.sim_ns,
         );
+        if self.threads > 0 {
+            println!(
+                "{:>20}  {} lanes over {} shards, {} cross-shard msgs, {} windows ({} stalled)",
+                "",
+                self.threads,
+                self.shards,
+                self.cross_shard_msgs,
+                self.windows,
+                self.stalled_windows,
+            );
+        }
     }
 
     fn json(&self) -> String {
-        format!(
-            "    \"{}\": {{\n      \"events\": {},\n      \"deliveries\": {},\n      \"sim_ns\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"deliveries_per_sec\": {:.1},\n      \"peak_reorder_bytes\": {}\n    }}",
+        let mut s = format!(
+            "    \"{}\": {{\n      \"threads\": {},\n      \"events\": {},\n      \"deliveries\": {},\n      \"sim_ns\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"deliveries_per_sec\": {:.1},\n      \"peak_reorder_bytes\": {}",
             self.name,
+            self.threads,
             self.events,
             self.deliveries,
             self.sim_ns,
@@ -77,7 +107,16 @@ impl WorkloadReport {
             self.events_per_sec(),
             self.deliveries_per_sec(),
             self.peak_reorder_bytes,
-        )
+        );
+        if self.threads > 0 {
+            let _ = write!(
+                s,
+                ",\n      \"shards\": {},\n      \"cross_shard_msgs\": {},\n      \"windows\": {},\n      \"stalled_windows\": {}",
+                self.shards, self.cross_shard_msgs, self.windows, self.stalled_windows,
+            );
+        }
+        s.push_str("\n    }");
+        s
     }
 }
 
@@ -94,32 +133,62 @@ fn peak_reorder_bytes(cluster: &mut Cluster) -> usize {
     total
 }
 
+/// Fold the sharded engine's per-shard counters into one report tail.
+fn fill_shard_fields(report: &mut WorkloadReport, cluster: &Cluster) {
+    let stats = cluster.sim.shard_stats();
+    report.shards = stats.len();
+    for s in &stats {
+        report.cross_shard_msgs += s.cross_shard_msgs;
+        report.windows += s.windows;
+        report.stalled_windows += s.stalled_windows;
+    }
+}
+
+fn report_name(base: &str, threads: usize) -> String {
+    if threads == 0 {
+        base.to_string()
+    } else {
+        format!("{base}_t{threads}")
+    }
+}
+
 /// Figure-8-style all-to-all broadcast on the 32-server testbed.
-fn bench_fig8_broadcast(smoke: bool) -> WorkloadReport {
+fn bench_fig8_broadcast(smoke: bool, threads: usize) -> WorkloadReport {
     let n = 32;
     let mut cfg = ClusterConfig::testbed(n);
     cfg.seed = 42;
+    cfg.threads = threads;
     let mut cluster = Cluster::new(cfg);
     let dur_ns: u64 = if smoke { 400_000 } else { 2_000_000 };
     let rate = 40_000.0; // broadcasts/s per process
     let wall = Instant::now();
     let m = run_onepipe_broadcast(&mut cluster, n, rate, dur_ns, false);
     let wall_s = wall.elapsed().as_secs_f64();
-    WorkloadReport {
-        name: "fig8_broadcast",
+    let mut report = WorkloadReport {
+        name: report_name("fig8_broadcast", threads),
+        threads,
         events: cluster.sim.stats.events,
         deliveries: m.delivered,
         sim_ns: cluster.sim.now(),
         wall_s,
         peak_reorder_bytes: peak_reorder_bytes(&mut cluster),
+        shards: 0,
+        cross_shard_msgs: 0,
+        windows: 0,
+        stalled_windows: 0,
+    };
+    if threads > 0 {
+        fill_shard_fields(&mut report, &cluster);
     }
+    report
 }
 
 /// Incast: every process unicasts 256-byte messages to process 0.
-fn bench_incast(smoke: bool) -> WorkloadReport {
+fn bench_incast(smoke: bool, threads: usize) -> WorkloadReport {
     let n = 32;
     let mut cfg = ClusterConfig::testbed(n);
     cfg.seed = 43;
+    cfg.threads = threads;
     let mut cluster = Cluster::new(cfg);
     let dur_ns: u64 = if smoke { 400_000 } else { 2_000_000 };
     let interval = 5_000u64; // each process sends every 5 µs
@@ -138,22 +207,64 @@ fn bench_incast(smoke: bool) -> WorkloadReport {
     cluster.run_for(2_000_000); // drain
     let wall_s = wall.elapsed().as_secs_f64();
     let deliveries = cluster.take_deliveries().len() as u64;
-    WorkloadReport {
-        name: "incast",
+    let mut report = WorkloadReport {
+        name: report_name("incast", threads),
+        threads,
         events: cluster.sim.stats.events,
         deliveries,
         sim_ns: cluster.sim.now(),
         wall_s,
         peak_reorder_bytes: peak_reorder_bytes(&mut cluster),
+        shards: 0,
+        cross_shard_msgs: 0,
+        windows: 0,
+        stalled_windows: 0,
+    };
+    if threads > 0 {
+        fill_shard_fields(&mut report, &cluster);
     }
+    report
+}
+
+/// The sharded engine promises bit-identical results for every lane
+/// count ≥ 1; regress it on every perfbench run.
+fn assert_deterministic(base: &WorkloadReport, other: &WorkloadReport) {
+    assert_eq!(
+        (base.events, base.deliveries, base.sim_ns),
+        (other.events, other.deliveries, other.sim_ns),
+        "sharded engine diverged between {} and {} — determinism broke",
+        base.name,
+        other.name,
+    );
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
-    println!("perfbench ({mode} mode)");
+    let threads = {
+        let t = onepipe_bench::parse_threads();
+        if t > 0 {
+            t
+        } else {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        }
+    };
+    println!("perfbench ({mode} mode, --threads {threads})");
 
-    let reports = [bench_fig8_broadcast(smoke), bench_incast(smoke)];
+    let mut reports = vec![
+        bench_fig8_broadcast(smoke, 0),
+        bench_fig8_broadcast(smoke, 1),
+        bench_incast(smoke, 0),
+        bench_incast(smoke, 1),
+    ];
+    if threads > 1 {
+        let fig8_tn = bench_fig8_broadcast(smoke, threads);
+        assert_deterministic(&reports[1], &fig8_tn);
+        reports.insert(2, fig8_tn);
+        let incast_tn = bench_incast(smoke, threads);
+        assert_deterministic(&reports[reports.len() - 1], &incast_tn);
+        reports.push(incast_tn);
+    }
     for r in &reports {
         r.print();
     }

@@ -7,20 +7,19 @@
 use onepipe_apps::storage::{StorageApp, StorageConfig, StorageMode};
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_netsim::stats::Samples;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn run(mode: StorageMode) -> Samples {
     let cfg = StorageConfig::paper_default(mode);
     let mut cluster = Cluster::new(ClusterConfig::single_rack(4, 4));
-    let app = Rc::new(RefCell::new(StorageApp::new(cfg)));
+    let app = Arc::new(Mutex::new(StorageApp::new(cfg)));
     cluster.set_app(app.clone());
     cluster.run_for(60_000_000); // 60 ms: several hundred writes
     let mut s = Samples::new();
-    for r in app.borrow().completed.iter() {
+    for r in app.lock().unwrap().completed.iter() {
         s.push((r.end - r.start) as f64 / 1e3);
     }
-    assert_eq!(app.borrow().mismatches, 0, "checksums must agree");
+    assert_eq!(app.lock().unwrap().mismatches, 0, "checksums must agree");
     s
 }
 

@@ -158,6 +158,23 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Parse a `--threads N` flag from argv: the number of compute lanes for
+/// the rack-sharded engine. 0 (the default) keeps the legacy
+/// single-queue engine; any N ≥ 1 selects the sharded engine, whose
+/// results are bit-identical for every N ≥ 1 (see DESIGN.md §10).
+pub fn parse_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads takes a non-negative integer");
+        }
+    }
+    0
+}
+
 /// Pretty table-row printer: pads cells to 12 chars.
 pub fn row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
@@ -167,12 +184,20 @@ pub fn row(cells: &[String]) {
 /// Standard cluster for a given process count: single rack below 9
 /// processes (matching the paper's placement), the 32-host testbed above.
 pub fn cluster_for(n: usize, seed: u64) -> Cluster {
+    cluster_for_threads(n, seed, 0)
+}
+
+/// [`cluster_for`] with an explicit engine selection: `threads` = 0 runs
+/// the legacy single-queue engine, N ≥ 1 the rack-sharded engine with N
+/// compute lanes (deterministic — identical output for every N ≥ 1).
+pub fn cluster_for_threads(n: usize, seed: u64, threads: usize) -> Cluster {
     let mut cfg = if n <= 8 {
         ClusterConfig::single_rack(n.max(2) as u32, n)
     } else {
         ClusterConfig::testbed(n)
     };
     cfg.seed = seed;
+    cfg.threads = threads;
     Cluster::new(cfg)
 }
 

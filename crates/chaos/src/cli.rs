@@ -11,6 +11,7 @@ pub fn sweep_main(args: impl Iterator<Item = String>) -> i32 {
     let mut seeds = 50u64;
     let mut single_rack = false;
     let mut controller_faults = false;
+    let mut threads = 0usize;
     let mut out_dir = PathBuf::from("results/chaos");
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -23,6 +24,12 @@ pub fn sweep_main(args: impl Iterator<Item = String>) -> i32 {
             }
             "--single-rack" => single_rack = true,
             "--controller-faults" => controller_faults = true,
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--threads takes a number"),
+                };
+            }
             "--out" => {
                 out_dir = match args.next() {
                     Some(p) => PathBuf::from(p),
@@ -35,6 +42,9 @@ pub fn sweep_main(args: impl Iterator<Item = String>) -> i32 {
 
     let mut cfg =
         if single_rack { CampaignConfig::single_rack(8, 8) } else { CampaignConfig::testbed() };
+    // 0 = legacy single-queue engine; N ≥ 1 = rack-sharded engine with N
+    // compute lanes, deterministic across lane counts (DESIGN.md §10).
+    cfg.cluster.threads = threads;
     if controller_faults {
         cfg.budget = cfg.budget.with_controller_faults();
         // Controller failover adds an election (~10 management RTTs) plus
@@ -43,12 +53,17 @@ pub fn sweep_main(args: impl Iterator<Item = String>) -> i32 {
         cfg.drain = cfg.drain.max(1_500 * MICROS);
     }
     println!(
-        "# chaos sweep: {} seeds on {} ({} hosts, {} processes{})",
+        "# chaos sweep: {} seeds on {} ({} hosts, {} processes{}{})",
         seeds,
         if single_rack { "single rack" } else { "fat-tree testbed" },
         cfg.cluster.topo.total_hosts(),
         cfg.cluster.processes,
         if controller_faults { ", controller faults on" } else { "" },
+        if threads > 0 {
+            format!(", sharded engine with {threads} lane(s)")
+        } else {
+            String::new()
+        },
     );
     let report = run_campaign(&cfg, seeds, Some(&out_dir));
     print!("{}", report.render());
@@ -69,6 +84,8 @@ pub fn sweep_main(args: impl Iterator<Item = String>) -> i32 {
 
 fn usage(err: &str) -> i32 {
     eprintln!("{err}");
-    eprintln!("usage: chaos_sweep [--seeds N] [--single-rack] [--controller-faults] [--out DIR]");
+    eprintln!(
+        "usage: chaos_sweep [--seeds N] [--single-rack] [--controller-faults] [--threads N] [--out DIR]"
+    );
     2
 }

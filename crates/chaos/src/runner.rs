@@ -214,8 +214,8 @@ pub fn run_with_schedule(cfg: &CampaignConfig, seed: u64, schedule: &FaultSchedu
             failed.push(p);
         }
     }
-    let deliveries = c.deliveries.borrow().len();
-    let delivery_log = render_delivery_log(&c.deliveries.borrow());
+    let deliveries = c.deliveries.lock().unwrap().len();
+    let delivery_log = render_delivery_log(&c.deliveries.lock().unwrap());
     let faults_injected = c.sim.stats.faults_injected();
     let ctrl_elections = c.sim.stats.ctrl_elections;
     let mut o = oracle.borrow_mut();

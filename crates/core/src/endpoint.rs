@@ -31,7 +31,7 @@ use onepipe_types::time::Timestamp;
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Sentinel destination for hop-by-hop packets (Commit messages die at the
 /// first-hop switch).
@@ -51,7 +51,7 @@ struct PendingScattering {
     /// Packets needed per destination.
     needs: Vec<(ProcessId, u32)>,
     /// Credits already reserved per destination (head of queue only).
-    reserved: HashMap<ProcessId, u32>,
+    reserved: BTreeMap<ProcessId, u32>,
 }
 
 /// Commit-tracking state of an in-flight reliable scattering.
@@ -72,7 +72,7 @@ struct RelScat {
 struct RecallState {
     ts: Timestamp,
     /// Receivers whose RecallAck is still missing.
-    waiting: HashSet<ProcessId>,
+    waiting: BTreeSet<ProcessId>,
     /// Local-clock time of the last (re)send.
     last_sent: Timestamp,
     retries: u32,
@@ -83,7 +83,7 @@ struct RecallState {
 struct CallbackState {
     app_done: bool,
     /// Recalls initiated by this announcement, still incomplete.
-    recalls: HashSet<u64>,
+    recalls: BTreeSet<u64>,
     reported: bool,
 }
 
@@ -162,8 +162,11 @@ pub struct Endpoint {
     next_seq: u64,
     last_ts_assigned: Timestamp,
     pending: VecDeque<PendingScattering>,
-    be_tx: HashMap<ProcessId, TxChannel>,
-    rel_tx: HashMap<ProcessId, TxChannel>,
+    // Ordered maps throughout: the timeout pumps iterate these to emit
+    // retransmits/recalls, and emission order must not vary run-to-run
+    // or deterministic replay breaks.
+    be_tx: BTreeMap<ProcessId, TxChannel>,
+    rel_tx: BTreeMap<ProcessId, TxChannel>,
     out: VecDeque<Datagram>,
     ctrl_out: VecDeque<CtrlRequest>,
     outstanding_rel: BTreeMap<(Timestamp, u64), RelScat>,
@@ -181,14 +184,14 @@ pub struct Endpoint {
     delivered_rel: VecDeque<Delivered>,
     events: VecDeque<UserEvent>,
     // -- failure handling --
-    failed: HashMap<ProcessId, Timestamp>,
-    recalls: HashMap<u64, RecallState>,
-    callbacks: HashMap<u64, CallbackState>,
+    failed: BTreeMap<ProcessId, Timestamp>,
+    recalls: BTreeMap<u64, RecallState>,
+    callbacks: BTreeMap<u64, CallbackState>,
     /// Announcements fully handled and reported. A replicated controller
     /// re-drives announcements across failover (at-least-once), so a
     /// duplicate must not replay Discard/Recall or re-raise the app
     /// callback — just re-send the possibly-lost CallbackComplete.
-    acked_announcements: HashSet<u64>,
+    acked_announcements: BTreeSet<u64>,
     /// Statistics counters.
     pub stats: EndpointStats,
 }
@@ -206,8 +209,8 @@ impl Endpoint {
             next_seq: 0,
             last_ts_assigned: Timestamp::ZERO,
             pending: VecDeque::new(),
-            be_tx: HashMap::new(),
-            rel_tx: HashMap::new(),
+            be_tx: BTreeMap::new(),
+            rel_tx: BTreeMap::new(),
             out: VecDeque::new(),
             ctrl_out: VecDeque::new(),
             outstanding_rel: BTreeMap::new(),
@@ -220,10 +223,10 @@ impl Endpoint {
             delivered_be: VecDeque::new(),
             delivered_rel: VecDeque::new(),
             events: VecDeque::new(),
-            failed: HashMap::new(),
-            recalls: HashMap::new(),
-            callbacks: HashMap::new(),
-            acked_announcements: HashSet::new(),
+            failed: BTreeMap::new(),
+            recalls: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            acked_announcements: BTreeSet::new(),
             stats: EndpointStats::default(),
         }
     }
@@ -313,7 +316,7 @@ impl Endpoint {
             reliable,
             msgs,
             needs,
-            reserved: HashMap::new(),
+            reserved: BTreeMap::new(),
         });
         self.stats.scatterings_sent += 1;
         self.poll(now);
@@ -1024,7 +1027,7 @@ impl Endpoint {
         // inserted at the end would keep a dangling recall seq forever.
         self.callbacks.insert(
             announce_id,
-            CallbackState { app_done: false, recalls: HashSet::new(), reported: false },
+            CallbackState { app_done: false, recalls: BTreeSet::new(), reported: false },
         );
         for &(proc, fail_ts) in failures {
             self.failed.insert(proc, fail_ts);
@@ -1208,7 +1211,7 @@ impl Endpoint {
 }
 
 fn channel<'a>(
-    map: &'a mut HashMap<ProcessId, TxChannel>,
+    map: &'a mut BTreeMap<ProcessId, TxChannel>,
     dst: ProcessId,
     cfg: &EndpointConfig,
 ) -> &'a mut TxChannel {

@@ -46,6 +46,7 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Cluster-level configuration.
 #[derive(Clone, Debug)]
@@ -74,6 +75,11 @@ pub struct ClusterConfig {
     /// Number of controller replicas (§5.2: "replicated using Paxos or
     /// Raft"). With 3 replicas the service survives one crash.
     pub ctrl_replicas: usize,
+    /// Simulation compute lanes. `0` runs the legacy single-queue engine;
+    /// `n ≥ 1` runs the rack-sharded engine with `n` lanes (`1` = sharded
+    /// but fully inline — the deterministic parallel reference; results
+    /// are bit-identical for every `n ≥ 1`).
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -90,6 +96,7 @@ impl ClusterConfig {
             mgmt_delay: 5_000,
             mgmt_serialize: 3_000,
             ctrl_replicas: 3,
+            threads: 0,
         }
     }
 
@@ -194,15 +201,18 @@ pub struct Cluster {
     /// The discrete-event simulator.
     pub sim: Sim,
     /// The routing topology.
-    pub topo: Rc<Topology>,
+    pub topo: Arc<Topology>,
     /// Process placement.
-    pub procs: Rc<ProcessMap>,
+    pub procs: Arc<ProcessMap>,
     /// All deliveries across the cluster, in delivery order.
-    pub deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
+    pub deliveries: Arc<Mutex<Vec<DeliveryRecord>>>,
     /// All user events raised across the cluster.
-    pub user_events: Rc<RefCell<Vec<(u64, ProcessId, crate::events::UserEvent)>>>,
-    switch_events: Rc<RefCell<Vec<SwitchEvent>>>,
-    ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
+    pub user_events: Arc<Mutex<Vec<(u64, ProcessId, crate::events::UserEvent)>>>,
+    switch_events: Arc<Mutex<Vec<SwitchEvent>>>,
+    ctrl_outbox: Arc<Mutex<Vec<(u64, ProcessId, CtrlRequest)>>>,
+    /// Sorted-prefix watermarks for the shared sinks (sharded mode): the
+    /// tail past each mark is canonicalized by `sort_sink_tails`.
+    sink_marks: [usize; 4],
     replicas: Vec<CtrlReplica>,
     /// Next time the controller replicas run their periodic tick (Raft
     /// timeouts + Determine-window expiry). Lets the per-event fast path
@@ -238,11 +248,11 @@ impl Cluster {
         cfg.endpoint.trust_data_barriers = matches!(cfg.switch.incarnation, Incarnation::Chip);
 
         let mut sim = Sim::new(cfg.seed);
-        let topo = Rc::new(Topology::build(&mut sim, cfg.topo.clone()));
+        let topo = Arc::new(Topology::build(&mut sim, cfg.topo.clone()));
         let n_hosts = topo.num_hosts();
-        let procs = Rc::new(ProcessMap::place_round_robin(n_hosts, cfg.processes));
+        let procs = Arc::new(ProcessMap::place_round_robin(n_hosts, cfg.processes));
 
-        let switch_events = Rc::new(RefCell::new(Vec::new()));
+        let switch_events = Arc::new(Mutex::new(Vec::new()));
         let shared = SwitchShared {
             topo: topo.clone(),
             procs: procs.clone(),
@@ -258,9 +268,9 @@ impl Cluster {
             ClockFleet::new(n_hosts, cfg.sync, cfg.seed ^ 0xC10C)
         };
 
-        let deliveries = Rc::new(RefCell::new(Vec::new()));
-        let ctrl_outbox = Rc::new(RefCell::new(Vec::new()));
-        let user_events = Rc::new(RefCell::new(Vec::new()));
+        let deliveries = Arc::new(Mutex::new(Vec::new()));
+        let ctrl_outbox = Arc::new(Mutex::new(Vec::new()));
+        let user_events = Arc::new(Mutex::new(Vec::new()));
         for h in 0..n_hosts {
             let host = HostId(h as u32);
             let endpoints: Vec<Endpoint> = procs
@@ -312,6 +322,12 @@ impl Cluster {
         let ctrl_retry =
             RetryPolicy { base: 2 * mgmt_delay, cap: 20 * mgmt_delay, max_attempts: 10 };
 
+        if cfg.threads > 0 {
+            // Rack-sharded parallel engine: one shard per rack subtree
+            // (see `Topology::partition`), `threads` compute lanes.
+            sim.set_partition(topo.partition(), cfg.threads);
+        }
+
         Cluster {
             sim,
             topo,
@@ -332,6 +348,7 @@ impl Cluster {
             mgmt_delay: cfg.mgmt_delay,
             mgmt_serialize: cfg.mgmt_serialize,
             delivery_cursor: 0,
+            sink_marks: [0; 4],
             chaos: None,
             chaos_delivery_cursor: 0,
             chaos_event_cursor: 0,
@@ -344,8 +361,8 @@ impl Cluster {
     /// Attach a chaos observer; it starts seeing deliveries, user events
     /// and barrier snapshots from the current time on.
     pub fn set_chaos(&mut self, hook: Rc<RefCell<dyn ChaosHook>>) {
-        self.chaos_delivery_cursor = self.deliveries.borrow().len();
-        self.chaos_event_cursor = self.user_events.borrow().len();
+        self.chaos_delivery_cursor = self.deliveries.lock().unwrap().len();
+        self.chaos_event_cursor = self.user_events.lock().unwrap().len();
         self.chaos_next_sample = self.sim.now();
         self.chaos = Some(hook);
     }
@@ -357,7 +374,7 @@ impl Cluster {
     }
 
     /// Attach a shared application hook to every host.
-    pub fn set_app(&mut self, app: Rc<RefCell<dyn AppHook>>) {
+    pub fn set_app(&mut self, app: Arc<Mutex<dyn AppHook>>) {
         for h in 0..self.topo.num_hosts() {
             let node = self.topo.host_node(HostId(h as u32));
             let app = app.clone();
@@ -421,8 +438,17 @@ impl Cluster {
     }
 
     /// Run until simulation time `t_end`, pumping the control plane.
+    ///
+    /// On the legacy engine the control plane is pumped after every
+    /// simulator event; on the sharded engine
+    /// ([`ClusterConfig::threads`] ≥ 1) it is pumped at every window
+    /// barrier — windows are bounded by the lookahead horizon and never
+    /// cross a pending management delivery, and all barrier times are
+    /// deterministic, so runs remain bit-identical for any lane count.
     pub fn run_until(&mut self, t_end: u64) {
+        let sharded = self.sim.is_sharded();
         loop {
+            self.sort_sink_tails();
             self.pump_control();
             self.pump_chaos();
             let sim_next = self.sim.peek_time();
@@ -439,14 +465,62 @@ impl Cluster {
             if mgmt_next.map(|m| m <= next).unwrap_or(false) {
                 let Reverse(entry) = self.mgmt.pop().unwrap();
                 self.sim.run_until(entry.at);
+                self.sort_sink_tails();
                 self.apply_mgmt(entry.msg);
+            } else if sharded {
+                // One lookahead window, fenced at the next management
+                // delivery so control actions land between windows.
+                let cap = mgmt_next.map_or(t_end, |m| m.min(t_end));
+                self.sim.run_window(cap);
             } else {
                 self.sim.step();
             }
         }
         self.sim.run_until(t_end);
+        self.sort_sink_tails();
         self.pump_control();
         self.pump_chaos();
+    }
+
+    /// Canonicalize the unsorted tail of each shared sink by
+    /// `(time, owner)`. In sharded mode worker lanes push into the sinks
+    /// concurrently, so arrival order is nondeterministic *across*
+    /// owners; entries with equal keys always come from one host — one
+    /// shard, executed serially — and the stable sort keeps their
+    /// relative order, so the result is a pure function of the
+    /// simulation. No-op on the legacy engine (its order is already
+    /// deterministic and pinned by existing goldens).
+    fn sort_sink_tails(&mut self) {
+        if !self.sim.is_sharded() {
+            return;
+        }
+        {
+            let mut d = self.deliveries.lock().unwrap();
+            let from = self.sink_marks[0].min(d.len());
+            d[from..].sort_by_key(|r| (r.at, r.receiver.0));
+            self.sink_marks[0] = d.len();
+        }
+        {
+            let mut e = self.user_events.lock().unwrap();
+            let from = self.sink_marks[1].min(e.len());
+            e[from..].sort_by_key(|(at, p, _)| (*at, p.0));
+            self.sink_marks[1] = e.len();
+        }
+        {
+            let mut e = self.switch_events.lock().unwrap();
+            let from = self.sink_marks[2].min(e.len());
+            e[from..].sort_by_key(|ev| {
+                let SwitchEvent::InLinkDead { switch, from, at, .. } = ev;
+                (*at, switch.0, from.0)
+            });
+            self.sink_marks[2] = e.len();
+        }
+        {
+            let mut e = self.ctrl_outbox.lock().unwrap();
+            let from = self.sink_marks[3].min(e.len());
+            e[from..].sort_by_key(|(at, p, _)| (*at, p.0));
+            self.sink_marks[3] = e.len();
+        }
     }
 
     /// Run for `dt` more nanoseconds.
@@ -456,10 +530,11 @@ impl Cluster {
 
     /// Deliveries recorded since the last call.
     pub fn take_deliveries(&mut self) -> Vec<DeliveryRecord> {
-        let all = self.deliveries.borrow();
+        self.sort_sink_tails();
+        let all = self.deliveries.lock().unwrap();
         let out = all[self.delivery_cursor..].to_vec();
+        self.delivery_cursor = all.len();
         drop(all);
-        self.delivery_cursor = self.deliveries.borrow().len();
         out
     }
 
@@ -627,7 +702,7 @@ impl Cluster {
         // Deliveries since the last pump (cloned out so the hook can't
         // observe a live borrow of the shared log).
         let new_d: Vec<DeliveryRecord> = {
-            let all = self.deliveries.borrow();
+            let all = self.deliveries.lock().unwrap();
             all[self.chaos_delivery_cursor..].to_vec()
         };
         self.chaos_delivery_cursor += new_d.len();
@@ -638,7 +713,7 @@ impl Cluster {
             }
         }
         let new_e: Vec<(u64, ProcessId, crate::events::UserEvent)> = {
-            let all = self.user_events.borrow();
+            let all = self.user_events.lock().unwrap();
             all[self.chaos_event_cursor..].to_vec()
         };
         self.chaos_event_cursor += new_e.len();
@@ -683,14 +758,15 @@ impl Cluster {
         // heap and is handled in `apply_mgmt`, not here.
         let now = self.sim.now();
         if now < self.next_ctrl_tick
-            && self.switch_events.borrow().is_empty()
-            && self.ctrl_outbox.borrow().is_empty()
+            && self.switch_events.lock().unwrap().is_empty()
+            && self.ctrl_outbox.lock().unwrap().is_empty()
         {
             return;
         }
         // Switch detect reports: one management hop to the controller
         // cluster, then re-driven until a leader commits them.
-        let events: Vec<SwitchEvent> = self.switch_events.borrow_mut().drain(..).collect();
+        let events: Vec<SwitchEvent> = self.switch_events.lock().unwrap().drain(..).collect();
+        self.sink_marks[2] = 0;
         for ev in events {
             let SwitchEvent::InLinkDead { switch, from, last_commit, at } = ev;
             self.push_mgmt(
@@ -702,8 +778,10 @@ impl Cluster {
             );
         }
         // Endpoint control requests: same path.
-        let reqs: Vec<(ProcessId, CtrlRequest)> = self.ctrl_outbox.borrow_mut().drain(..).collect();
-        for (from, req) in reqs {
+        let reqs: Vec<(u64, ProcessId, CtrlRequest)> =
+            self.ctrl_outbox.lock().unwrap().drain(..).collect();
+        self.sink_marks[3] = 0;
+        for (_raised_at, from, req) in reqs {
             let ev = match req {
                 CtrlRequest::CallbackComplete { announce_id } => {
                     CtrlEvent::CallbackComplete { announce_id, from }
@@ -1124,6 +1202,74 @@ mod tests {
         c.send(ProcessId(0), vec![Message::new(ProcessId(1), "post")], true).unwrap();
         c.run_for(300 * MICROS);
         assert!(c.take_deliveries().iter().any(|r| r.msg.payload == Bytes::from_static(b"post")));
+    }
+
+    #[test]
+    fn sharded_cluster_bit_identical_across_lane_counts() {
+        // The full cluster — switches, hosts, controller, a host crash
+        // and its recovery — must produce byte-identical delivery and
+        // event streams for every lane count of the sharded engine
+        // (threads = 1 is the deterministic reference).
+        let run = |threads: usize| {
+            let mut cfg = ClusterConfig::single_rack(4, 4);
+            cfg.threads = threads;
+            let mut c = Cluster::new(cfg);
+            assert!(c.sim.is_sharded());
+            c.run_for(50 * MICROS);
+            for p in 0..4u32 {
+                c.send(ProcessId(p), vec![Message::new(ProcessId((p + 1) % 4), "x")], true)
+                    .unwrap();
+            }
+            let t = c.sim.now();
+            c.crash_host(t + 20 * MICROS, HostId(3));
+            c.run_for(600 * MICROS);
+            let d: Vec<_> = c
+                .take_deliveries()
+                .iter()
+                .map(|r| (r.at, r.receiver, r.msg.ts, r.msg.src, r.reliable))
+                .collect();
+            let ev: Vec<_> = c.user_events.lock().unwrap().clone();
+            (d, format!("{ev:?}"), c.sim.stats.events, c.failed_processes())
+        };
+        let one = run(1);
+        assert!(!one.0.is_empty(), "reference run delivered nothing");
+        assert_eq!(one.3.first().map(|f| f.0), Some(ProcessId(3)));
+        assert_eq!(run(2), one, "threads=2 diverged from threads=1");
+        assert_eq!(run(3), one, "threads=3 diverged from threads=1");
+    }
+
+    #[test]
+    fn sharded_testbed_preserves_total_order() {
+        let mut cfg = ClusterConfig::testbed(32);
+        cfg.threads = 2;
+        let mut c = Cluster::new(cfg);
+        c.run_for(50 * MICROS);
+        for round in 0..3 {
+            for p in 0..6u32 {
+                let payload = format!("{p}-{round}");
+                c.send(
+                    ProcessId(p),
+                    vec![
+                        Message::new(ProcessId(30), payload.clone()),
+                        Message::new(ProcessId(31), payload),
+                    ],
+                    false,
+                )
+                .unwrap();
+            }
+            c.run_for(10 * MICROS);
+        }
+        c.run_for(400 * MICROS);
+        let d = c.take_deliveries();
+        let seen_by = |r: u32| -> Vec<Bytes> {
+            d.iter()
+                .filter(|rec| rec.receiver == ProcessId(r))
+                .map(|rec| rec.msg.payload.clone())
+                .collect()
+        };
+        let a = seen_by(30);
+        assert_eq!(a.len(), 18, "all scatterings delivered cross-pod");
+        assert_eq!(a, seen_by(31), "both receivers must deliver in the same order");
     }
 
     #[test]

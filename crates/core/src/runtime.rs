@@ -29,8 +29,7 @@ use onepipe_types::ids::{HostId, ProcessId};
 use onepipe_types::message::{Delivered, Message};
 use onepipe_types::time::{Duration, Timestamp};
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What the runtime needs from a transport: a datagram sink toward the
 /// first-hop switch and a reading of true (transport) time.
@@ -92,8 +91,8 @@ impl SendQueue {
     }
 }
 
-/// Host-side application logic, shared across hosts via `Rc<RefCell>`.
-pub trait AppHook {
+/// Host-side application logic, shared across hosts via `Arc<Mutex>`.
+pub trait AppHook: Send {
     /// A message was delivered to `receiver`. Queue any reactions in `out`.
     fn on_delivery(
         &mut self,
@@ -143,19 +142,20 @@ pub struct HostRuntime {
     /// Cached process ids (the endpoint set is fixed after construction);
     /// handed to [`AppHook::on_tick`] without a per-tick allocation.
     proc_ids: Vec<ProcessId>,
-    app: Option<Rc<RefCell<dyn AppHook>>>,
+    app: Option<Arc<Mutex<dyn AppHook>>>,
     beacon_interval: Duration,
     /// Beacon at globally synchronized slots (§4.2) or at a per-host
     /// random phase (the paper's ablation: random phases make a switch
     /// wait for the *last* host's beacon, adding ~a full interval).
     pub synchronized_beacons: bool,
     /// Shared record of all deliveries (for experiments and oracles).
-    pub deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
-    /// Controller requests raised by endpoints, drained by the driver and
-    /// routed over the management network.
-    pub ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
+    pub deliveries: Arc<Mutex<Vec<DeliveryRecord>>>,
+    /// Controller requests raised by endpoints — `(true time raised,
+    /// process, request)` — drained by the driver and routed over the
+    /// management network.
+    pub ctrl_outbox: Arc<Mutex<Vec<(u64, ProcessId, CtrlRequest)>>>,
     /// User events kept for driver/harness inspection (send failures etc.).
-    pub user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+    pub user_events: Arc<Mutex<Vec<(u64, ProcessId, UserEvent)>>>,
 }
 
 impl HostRuntime {
@@ -165,9 +165,9 @@ impl HostRuntime {
         clock: MonotonicClock,
         endpoints: Vec<Endpoint>,
         beacon_interval: Duration,
-        deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
-        ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
-        user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+        deliveries: Arc<Mutex<Vec<DeliveryRecord>>>,
+        ctrl_outbox: Arc<Mutex<Vec<(u64, ProcessId, CtrlRequest)>>>,
+        user_events: Arc<Mutex<Vec<(u64, ProcessId, UserEvent)>>>,
     ) -> Self {
         let proc_ids = endpoints.iter().map(|e| e.id()).collect();
         HostRuntime {
@@ -185,7 +185,7 @@ impl HostRuntime {
     }
 
     /// Attach the shared application hook.
-    pub fn set_app(&mut self, app: Rc<RefCell<dyn AppHook>>) {
+    pub fn set_app(&mut self, app: Arc<Mutex<dyn AppHook>>) {
         self.app = Some(app);
     }
 
@@ -289,7 +289,7 @@ impl HostRuntime {
                 if let Some(app) = self.app.clone() {
                     if self.endpoints.iter().any(|e| e.id() == d.dst) {
                         let mut queue = SendQueue::default();
-                        app.borrow_mut().on_raw(now, d.dst, d.src, &d.payload, &mut queue);
+                        app.lock().unwrap().on_raw(now, d.dst, d.src, &d.payload, &mut queue);
                         self.apply_queue(local, queue);
                     }
                 }
@@ -316,7 +316,7 @@ impl HostRuntime {
         // App time-driven workload.
         if let Some(app) = self.app.clone() {
             let mut queue = SendQueue::default();
-            app.borrow_mut().on_tick(now, self.host, &self.proc_ids, &mut queue);
+            app.lock().unwrap().on_tick(now, self.host, &self.proc_ids, &mut queue);
             self.apply_queue(local, queue);
         }
         self.flush(wire);
@@ -356,26 +356,26 @@ impl HostRuntime {
                 let receiver = self.endpoints[i].id();
                 while let Some(msg) = self.endpoints[i].recv_unreliable() {
                     any = true;
-                    self.deliveries.borrow_mut().push(DeliveryRecord {
+                    self.deliveries.lock().unwrap().push(DeliveryRecord {
                         at: now,
                         receiver,
                         msg: msg.clone(),
                         reliable: false,
                     });
                     if let Some(app) = &self.app {
-                        app.borrow_mut().on_delivery(now, receiver, &msg, false, &mut queue);
+                        app.lock().unwrap().on_delivery(now, receiver, &msg, false, &mut queue);
                     }
                 }
                 while let Some(msg) = self.endpoints[i].recv_reliable() {
                     any = true;
-                    self.deliveries.borrow_mut().push(DeliveryRecord {
+                    self.deliveries.lock().unwrap().push(DeliveryRecord {
                         at: now,
                         receiver,
                         msg: msg.clone(),
                         reliable: true,
                     });
                     if let Some(app) = &self.app {
-                        app.borrow_mut().on_delivery(now, receiver, &msg, true, &mut queue);
+                        app.lock().unwrap().on_delivery(now, receiver, &msg, true, &mut queue);
                     }
                 }
                 // User events.
@@ -383,19 +383,20 @@ impl HostRuntime {
                     any = true;
                     let mut complete = true;
                     if let Some(app) = &self.app {
-                        complete = app.borrow_mut().on_user_event(now, receiver, &ev, &mut queue);
+                        complete =
+                            app.lock().unwrap().on_user_event(now, receiver, &ev, &mut queue);
                     }
                     if complete {
                         if let UserEvent::ProcessFailed { announce_id, .. } = &ev {
                             self.endpoints[i].complete_failure_callback(*announce_id);
                         }
                     }
-                    self.user_events.borrow_mut().push((now, receiver, ev));
+                    self.user_events.lock().unwrap().push((now, receiver, ev));
                 }
                 // Controller requests.
                 while let Some(req) = self.endpoints[i].poll_ctrl() {
                     any = true;
-                    self.ctrl_outbox.borrow_mut().push((receiver, req));
+                    self.ctrl_outbox.lock().unwrap().push((now, receiver, req));
                 }
             }
             // Application-queued sends.

@@ -16,8 +16,7 @@ use onepipe_types::ids::{HostId, NodeId, ProcessId};
 use onepipe_types::message::Message;
 use onepipe_types::time::{Duration, Timestamp};
 use onepipe_types::wire::Datagram;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::events::{CtrlRequest, UserEvent};
 pub use crate::runtime::{AppHook, DeliveryRecord, SendQueue};
@@ -73,9 +72,9 @@ impl HostLogic {
         clock: MonotonicClock,
         endpoints: Vec<crate::endpoint::Endpoint>,
         beacon_interval: Duration,
-        deliveries: Rc<RefCell<Vec<DeliveryRecord>>>,
-        ctrl_outbox: Rc<RefCell<Vec<(ProcessId, CtrlRequest)>>>,
-        user_events: Rc<RefCell<Vec<(u64, ProcessId, UserEvent)>>>,
+        deliveries: Arc<Mutex<Vec<DeliveryRecord>>>,
+        ctrl_outbox: Arc<Mutex<Vec<(u64, ProcessId, CtrlRequest)>>>,
+        user_events: Arc<Mutex<Vec<(u64, ProcessId, UserEvent)>>>,
     ) -> Self {
         HostLogic {
             tor,
@@ -203,7 +202,7 @@ mod tests {
 
     /// Records everything a "switch" node receives from the host.
     struct SwitchProbe {
-        log: Rc<RefCell<Vec<(u64, Datagram)>>>,
+        log: Arc<Mutex<Vec<(u64, Datagram)>>>,
     }
     impl onepipe_netsim::engine::NodeLogic for SwitchProbe {
         fn on_packet(
@@ -212,18 +211,18 @@ mod tests {
             _from: onepipe_types::ids::NodeId,
             pkt: onepipe_netsim::engine::SimPacket,
         ) {
-            self.log.borrow_mut().push((ctx.now(), pkt.dgram));
+            self.log.lock().unwrap().push((ctx.now(), pkt.dgram));
         }
     }
 
-    type ProbeLog = Rc<RefCell<Vec<(u64, Datagram)>>>;
+    type ProbeLog = Arc<Mutex<Vec<(u64, Datagram)>>>;
 
     fn host_under_probe(n_procs: u32) -> (Sim, onepipe_types::ids::NodeId, ProbeLog) {
         let mut sim = Sim::new(1);
         let host_node = sim.add_node();
         let switch_node = sim.add_node();
         sim.add_duplex_link(host_node, switch_node, LinkParams::default());
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         sim.set_logic(switch_node, Box::new(SwitchProbe { log: log.clone() }));
         let endpoints =
             (0..n_procs).map(|i| Endpoint::new(ProcessId(i), EndpointConfig::default())).collect();
@@ -233,9 +232,9 @@ mod tests {
             MonotonicClock::perfect(),
             endpoints,
             3 * MICROS,
-            Rc::new(RefCell::new(Vec::new())),
-            Rc::new(RefCell::new(Vec::new())),
-            Rc::new(RefCell::new(Vec::new())),
+            Arc::new(Mutex::new(Vec::new())),
+            Arc::new(Mutex::new(Vec::new())),
+            Arc::new(Mutex::new(Vec::new())),
         );
         sim.set_logic(host_node, Box::new(logic));
         (sim, host_node, log)
@@ -246,7 +245,8 @@ mod tests {
         let (mut sim, _host, log) = host_under_probe(2);
         sim.run_until(30 * MICROS);
         let beacons: Vec<u64> = log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .filter(|(_, d)| d.header.opcode == Opcode::Beacon)
             .map(|(at, _)| *at)
@@ -274,7 +274,8 @@ mod tests {
         let sent_at = sim.now();
         sim.run_until(sent_at + 10 * MICROS);
         let last_beacon = log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .rev()
             .find(|(_, d)| d.header.opcode == Opcode::Beacon)
@@ -332,7 +333,8 @@ mod tests {
         // Let the data packet reach the switch probe.
         sim.run_until(sim.now() + 5 * MICROS);
         let ack = log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .find(|(_, d)| d.header.opcode == Opcode::DataReliable)
             .map(|(_, d)| Datagram {
@@ -360,7 +362,7 @@ mod tests {
         });
         sim.run_until(sim.now() + 5 * MICROS);
         let commits =
-            log.borrow().iter().filter(|(_, d)| d.header.opcode == Opcode::Commit).count();
+            log.lock().unwrap().iter().filter(|(_, d)| d.header.opcode == Opcode::Commit).count();
         assert!(commits >= 1, "commit message must reach the first-hop switch");
     }
 }

@@ -21,8 +21,7 @@ use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_types::ids::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Campaign shape (times in sim ns).
 #[derive(Clone, Debug)]
@@ -107,7 +106,7 @@ pub fn run_seed(cfg: &LogChaosConfig, seed: u64) -> LogSeedOutcome {
     let mut cluster_cfg = ClusterConfig::testbed(log_cfg.n_processes());
     cluster_cfg.seed = seed;
     let mut cluster = Cluster::new(cluster_cfg);
-    let app = Rc::new(RefCell::new(LogService::new(log_cfg.clone())));
+    let app = Arc::new(Mutex::new(LogService::new(log_cfg.clone())));
     cluster.set_app(app.clone());
 
     // Schedule the mid-append crash of one shard server's host.
@@ -121,7 +120,7 @@ pub fn run_seed(cfg: &LogChaosConfig, seed: u64) -> LogSeedOutcome {
     cluster.run_until(cfg.run_until);
 
     // Judge every observer's view of every stream.
-    let svc = app.borrow();
+    let svc = app.lock().unwrap();
     let mut oracle = StreamOrderOracle::new();
     let at = cfg.run_until;
     for shard in 0..log_cfg.n_shards {

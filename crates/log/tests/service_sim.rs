@@ -4,10 +4,9 @@
 
 use onepipe_core::harness::{Cluster, ClusterConfig};
 use onepipe_log::service::{DriveConfig, LogConfig, LogService};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-fn cluster_for(cfg: &LogConfig, seed: u64) -> (Cluster, Rc<RefCell<LogService>>) {
+fn cluster_for(cfg: &LogConfig, seed: u64) -> (Cluster, Arc<Mutex<LogService>>) {
     let mut ccfg = if cfg.n_processes() <= 8 {
         ClusterConfig::single_rack(cfg.n_processes() as u32, cfg.n_processes())
     } else {
@@ -15,7 +14,7 @@ fn cluster_for(cfg: &LogConfig, seed: u64) -> (Cluster, Rc<RefCell<LogService>>)
     };
     ccfg.seed = seed;
     let mut cluster = Cluster::new(ccfg);
-    let app = Rc::new(RefCell::new(LogService::new(cfg.clone())));
+    let app = Arc::new(Mutex::new(LogService::new(cfg.clone())));
     cluster.set_app(app.clone());
     (cluster, app)
 }
@@ -39,14 +38,14 @@ fn appends_ack_and_fan_out_in_client_order() {
     for round in 0..10u8 {
         for c in 0..2u32 {
             for stream in 0..4u64 {
-                app.borrow_mut().submit(c, stream, vec![round; 8]);
+                app.lock().unwrap().submit(c, stream, vec![round; 8]);
             }
         }
         cluster.run_for(20_000);
     }
     cluster.run_for(2_000_000);
 
-    let svc = app.borrow();
+    let svc = app.lock().unwrap();
     assert_eq!(svc.unacked_total(), 0, "every batch acknowledged");
     assert_eq!(svc.acked_appends, 80);
     for stream in 0..4u64 {
@@ -93,12 +92,12 @@ fn late_subscriber_catches_up_via_snapshot_then_tails() {
     cluster.run_for(100_000);
 
     for i in 0..30u8 {
-        app.borrow_mut().submit(0, (i % 2) as u64, vec![i; 16]);
+        app.lock().unwrap().submit(0, (i % 2) as u64, vec![i; 16]);
         cluster.run_for(30_000); // crosses the 1.5 ms join mid-run
     }
     cluster.run_for(2_000_000);
 
-    let svc = app.borrow();
+    let svc = app.lock().unwrap();
     for stream in 0..2u64 {
         let owner = svc.owner(stream).unwrap();
         let log = svc.shard_state(owner).stream(stream).expect("log");
@@ -129,7 +128,7 @@ fn hot_tenant_hits_credit_backpressure() {
     let (mut cluster, app) = cluster_for(&cfg, 13);
     cluster.run_for(8_000_000);
 
-    let svc = app.borrow();
+    let svc = app.lock().unwrap();
     let totals = svc.tenant_totals().totals();
     assert!(totals.appends > 0);
     assert!(totals.stalls > 0, "the open loop outruns the shard: admission must have stalled");

@@ -1,8 +1,22 @@
 //! The discrete-event engine: event queue, node dispatch, link transit.
+//!
+//! The engine has two execution modes sharing one event model:
+//!
+//! * **Single-queue** (default): one calendar queue, one RNG, events pop
+//!   in global `(time, seq)` order — the reference semantics every golden
+//!   and seeded experiment was recorded against.
+//! * **Sharded** (after [`Sim::set_partition`]): the node set is split
+//!   into shards (one per rack subtree, see
+//!   [`Topology::partition`](crate::topology::Topology::partition)), each
+//!   with its own calendar queue, link table and RNG, executed in
+//!   conservative-lookahead windows — on worker threads when more than
+//!   one lane is requested. See [`crate::shard`] for the synchronization
+//!   contract.
 
 use crate::link::{Enqueue, Link, LinkParams};
 use crate::sched::CalendarQueue;
-use crate::stats::Stats;
+use crate::shard::{OutMsg, ShardCtx, Sharded};
+use crate::stats::{ShardStat, Stats};
 use crate::trace::{TraceRecord, TracerHandle};
 use onepipe_types::ids::{LinkId, NodeId};
 use onepipe_types::time::Duration;
@@ -33,7 +47,11 @@ impl SimPacket {
 
 /// Behaviour attached to a simulated node (switch logic, host endpoint,
 /// traffic generator, ...).
-pub trait NodeLogic {
+///
+/// `Send` is required so whole shards (including their attached logic)
+/// can migrate to worker threads in sharded mode; a shard is only ever
+/// executed by one thread at a time.
+pub trait NodeLogic: Send {
     /// Called once when the simulation starts, to arm initial timers.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -57,18 +75,18 @@ const NO_LINK: u32 = u32::MAX;
 /// so the per-hop lookups on the forwarding path (`Ctx::send`, the
 /// viability oracle behind ECMP failover) are two array reads instead of
 /// a hash. Rows grow on demand; node-id space is small and dense.
-struct LinkTable {
+pub(crate) struct LinkTable {
     slot: Vec<Vec<u32>>,
     links: Vec<Link>,
 }
 
 impl LinkTable {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LinkTable { slot: Vec::new(), links: Vec::new() }
     }
 
     /// Insert a link; returns `false` if it already exists.
-    fn insert(&mut self, id: LinkId, link: Link) -> bool {
+    pub(crate) fn insert(&mut self, id: LinkId, link: Link) -> bool {
         let (f, t) = (id.from.0 as usize, id.to.0 as usize);
         if self.slot.len() <= f {
             self.slot.resize_with(f + 1, Vec::new);
@@ -96,24 +114,41 @@ impl LinkTable {
     }
 
     #[inline]
-    fn get(&self, id: LinkId) -> Option<&Link> {
+    pub(crate) fn get(&self, id: LinkId) -> Option<&Link> {
         self.index(id).map(|i| &self.links[i])
     }
 
     #[inline]
-    fn get_mut(&mut self, id: LinkId) -> Option<&mut Link> {
+    pub(crate) fn get_mut(&mut self, id: LinkId) -> Option<&mut Link> {
         match self.index(id) {
             Some(i) => Some(&mut self.links[i]),
             None => None,
         }
     }
 
-    fn values_mut(&mut self) -> impl Iterator<Item = &mut Link> {
+    pub(crate) fn values_mut(&mut self) -> impl Iterator<Item = &mut Link> {
         self.links.iter_mut()
+    }
+
+    /// Consume the table into `(id, link)` pairs, in `(from, to)` id
+    /// order — used by [`Sim::set_partition`] to split links by owner.
+    pub(crate) fn into_entries(self) -> Vec<(LinkId, Link)> {
+        let LinkTable { slot, links } = self;
+        let mut links: Vec<Option<Link>> = links.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(links.len());
+        for (f, row) in slot.iter().enumerate() {
+            for (t, &s) in row.iter().enumerate() {
+                if s != NO_LINK {
+                    let id = LinkId::new(NodeId(f as u32), NodeId(t as u32));
+                    out.push((id, links[s as usize].take().expect("link indexed twice")));
+                }
+            }
+        }
+        out
     }
 }
 
-enum EventKind {
+pub(crate) enum EventKind {
     Arrive { to: NodeId, from: NodeId, pkt: SimPacket },
     Timer { node: NodeId, token: u64 },
     LinkAdmin { link: LinkId, up: bool },
@@ -129,14 +164,16 @@ enum EventKind {
 /// transmission on attached links, timers, neighbor discovery and a
 /// deterministic RNG.
 pub struct Ctx<'a> {
-    now: u64,
-    node: NodeId,
-    queue: &'a mut CalendarQueue<EventKind>,
-    links: &'a mut LinkTable,
-    out_neighbors: &'a [Vec<NodeId>],
-    in_neighbors: &'a [Vec<NodeId>],
-    rng: &'a mut StdRng,
-    stats: &'a mut Stats,
+    pub(crate) now: u64,
+    pub(crate) node: NodeId,
+    pub(crate) queue: &'a mut CalendarQueue<EventKind>,
+    pub(crate) links: &'a mut LinkTable,
+    pub(crate) out_neighbors: &'a [Vec<NodeId>],
+    pub(crate) in_neighbors: &'a [Vec<NodeId>],
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) stats: &'a mut Stats,
+    /// Sharded-mode extras; `None` under the single-queue engine.
+    pub(crate) shard: Option<ShardCtx<'a>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -199,7 +236,21 @@ impl<'a> Ctx<'a> {
                 if lost {
                     self.stats.drops_inflight += 1;
                 } else {
-                    self.queue.push(arrive_ns, EventKind::Arrive { to, from: self.node, pkt });
+                    let from = self.node;
+                    match &mut self.shard {
+                        // Cross-shard arrival: buffered in the shard's
+                        // outbox and merged into the destination shard's
+                        // queue at the next window barrier. Safe because
+                        // arrive_ns ≥ now + 1 + prop ≥ window end (the
+                        // lookahead is min cross-shard prop + 1).
+                        Some(s) if s.shard_of[to.0 as usize] != s.id => {
+                            *s.cross_msgs += 1;
+                            s.outbox.push(OutMsg { at: arrive_ns, to, from, pkt });
+                        }
+                        _ => {
+                            self.queue.push(arrive_ns, EventKind::Arrive { to, from, pkt });
+                        }
+                    }
                 }
                 self.stats.packets_sent += 1;
                 true
@@ -235,21 +286,30 @@ impl<'a> Ctx<'a> {
     /// protocol would provide: forwarding avoids next hops whose entire
     /// downstream path is dead, not just hops behind a locally-down port.
     pub fn global_link_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        // In sharded mode the local link table only holds links whose
+        // tail is in this shard; the shared up-map mirrors every link's
+        // administrative state (writes happen only at window barriers).
+        if let Some(s) = &self.shard {
+            return s.up_map.is_up(from, to);
+        }
         self.links.get(LinkId::new(from, to)).map(|l| l.is_up()).unwrap_or(false)
     }
 }
 
 /// The simulator: nodes, links and the event queue.
 pub struct Sim {
-    now: u64,
-    queue: CalendarQueue<EventKind>,
-    nodes: Vec<Option<Box<dyn NodeLogic>>>,
-    crashed: Vec<bool>,
-    links: LinkTable,
-    out_neighbors: Vec<Vec<NodeId>>,
-    in_neighbors: Vec<Vec<NodeId>>,
-    rng: StdRng,
-    tracer: Option<TracerHandle>,
+    pub(crate) now: u64,
+    pub(crate) queue: CalendarQueue<EventKind>,
+    pub(crate) nodes: Vec<Option<Box<dyn NodeLogic>>>,
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) links: LinkTable,
+    pub(crate) out_neighbors: Vec<Vec<NodeId>>,
+    pub(crate) in_neighbors: Vec<Vec<NodeId>>,
+    pub(crate) rng: StdRng,
+    pub(crate) seed: u64,
+    pub(crate) tracer: Option<TracerHandle>,
+    /// Sharded execution state; `None` under the single-queue engine.
+    pub(crate) sharded: Option<Box<Sharded>>,
     /// Simulation-wide statistics.
     pub stats: Stats,
 }
@@ -266,14 +326,28 @@ impl Sim {
             out_neighbors: Vec::new(),
             in_neighbors: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            seed,
             tracer: None,
+            sharded: None,
             stats: Stats::default(),
         }
     }
 
     /// Attach a packet tracer; every delivered packet is recorded.
+    /// Incompatible with sharded execution ([`Sim::set_partition`]).
     pub fn set_tracer(&mut self, tracer: TracerHandle) {
+        assert!(self.sharded.is_none(), "tracing is not supported in sharded mode");
         self.tracer = Some(tracer);
+    }
+
+    /// Whether the simulator runs in sharded mode.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded.is_some()
+    }
+
+    /// Per-shard execution counters (empty in single-queue mode).
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.sharded.as_deref().map(Sharded::shard_stats).unwrap_or_default()
     }
 
     /// Current simulation time (ns).
@@ -283,6 +357,7 @@ impl Sim {
 
     /// Add a node without logic (logic can be attached later); returns its id.
     pub fn add_node(&mut self) -> NodeId {
+        assert!(self.sharded.is_none(), "cannot add nodes after set_partition");
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(None);
         self.crashed.push(false);
@@ -294,12 +369,17 @@ impl Sim {
     /// Attach (or replace) the logic of a node. An `on_start` event is
     /// scheduled at the current time.
     pub fn set_logic(&mut self, node: NodeId, logic: Box<dyn NodeLogic>) {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.set_logic(self.now, node, logic);
+            return;
+        }
         self.nodes[node.0 as usize] = Some(logic);
         self.queue.push(self.now, EventKind::Start { node });
     }
 
     /// Add a directed link with the given parameters.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        assert!(self.sharded.is_none(), "cannot add links after set_partition");
         let id = LinkId::new(from, to);
         assert!(self.links.insert(id, Link::new(params)), "duplicate link {id:?}");
         self.out_neighbors[from.0 as usize].push(to);
@@ -314,16 +394,29 @@ impl Sim {
 
     /// Mutable access to a link (loss-rate adjustment, inspection).
     pub fn link_mut(&mut self, id: LinkId) -> Option<&mut Link> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            // The caller may flip the link's up state; remember the id so
+            // the shared up-map is re-synced before the next window.
+            sh.note_dirty(id);
+            return sh.link_mut(id);
+        }
         self.links.get_mut(id)
     }
 
     /// Shared access to a link.
     pub fn link(&self, id: LinkId) -> Option<&Link> {
+        if let Some(sh) = self.sharded.as_deref() {
+            return sh.link(id);
+        }
         self.links.get(id)
     }
 
     /// Set the loss rate of every link in the network.
     pub fn set_global_loss_rate(&mut self, rate: f64) {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.set_global_loss_rate(rate);
+            return;
+        }
         for link in self.links.values_mut() {
             link.params.loss_rate = rate;
         }
@@ -332,6 +425,10 @@ impl Sim {
     /// Schedule an administrative link up/down change at `at` (absolute ns).
     pub fn schedule_link_admin(&mut self, at: u64, link: LinkId, up: bool) {
         assert!(at >= self.now);
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.schedule_admin(at, EventKind::LinkAdmin { link, up });
+            return;
+        }
         self.queue.push(at, EventKind::LinkAdmin { link, up });
     }
 
@@ -350,6 +447,10 @@ impl Sim {
     pub fn schedule_link_loss(&mut self, at: u64, link: LinkId, rate: f64) {
         assert!(at >= self.now);
         assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.schedule_admin(at, EventKind::LinkLoss { link, rate });
+            return;
+        }
         self.queue.push(at, EventKind::LinkLoss { link, rate });
     }
 
@@ -357,6 +458,10 @@ impl Sim {
     pub fn schedule_global_loss(&mut self, at: u64, rate: f64) {
         assert!(at >= self.now);
         assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.schedule_admin(at, EventKind::GlobalLoss { rate });
+            return;
+        }
         self.queue.push(at, EventKind::GlobalLoss { rate });
     }
 
@@ -364,12 +469,20 @@ impl Sim {
     /// processing all events from that time on.
     pub fn schedule_crash(&mut self, at: u64, node: NodeId) {
         assert!(at >= self.now);
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.schedule_admin(at, EventKind::Crash { node });
+            return;
+        }
         self.queue.push(at, EventKind::Crash { node });
     }
 
     /// Schedule a timer on a node from outside (harness hook).
     pub fn schedule_timer(&mut self, at: u64, node: NodeId, token: u64) {
         assert!(at >= self.now);
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.schedule_timer(at, node, token);
+            return;
+        }
         self.queue.push(at, EventKind::Timer { node, token });
     }
 
@@ -382,6 +495,9 @@ impl Sim {
     /// Amortized O(1); `&mut` because the calendar queue may lazily sort
     /// its head bucket (work the following `step` reuses).
     pub fn peek_time(&mut self) -> Option<u64> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.peek_time();
+        }
         self.queue.peek_time()
     }
 
@@ -397,12 +513,18 @@ impl Sim {
 
     /// Immutable access to a node's logic, downcast by the caller.
     pub fn logic(&self, node: NodeId) -> Option<&dyn NodeLogic> {
+        if let Some(sh) = self.sharded.as_deref() {
+            return sh.logic(node);
+        }
         self.nodes[node.0 as usize].as_deref()
     }
 
     /// Mutable access to a node's logic (the harness uses this to inject
     /// application work between events).
     pub fn logic_mut(&mut self, node: NodeId) -> Option<&mut (dyn NodeLogic + 'static)> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.logic_mut(node);
+        }
         match self.nodes[node.0 as usize] {
             Some(ref mut b) => Some(b.as_mut()),
             None => None,
@@ -419,6 +541,10 @@ impl Sim {
         if self.crashed[node.0 as usize] {
             return None;
         }
+        if self.sharded.is_some() {
+            let Sim { sharded, stats, now, .. } = self;
+            return sharded.as_deref_mut().unwrap().with_node(*now, node, stats, f);
+        }
         let mut logic = self.nodes[node.0 as usize].take()?;
         let mut ctx = Ctx {
             now: self.now,
@@ -429,6 +555,7 @@ impl Sim {
             in_neighbors: &self.in_neighbors,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            shard: None,
         };
         let r = f(logic.as_mut(), &mut ctx);
         self.nodes[node.0 as usize] = Some(logic);
@@ -436,7 +563,10 @@ impl Sim {
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
+    /// Unsupported in sharded mode — use [`Sim::run_window`] or
+    /// [`Sim::run_until`] instead.
     pub fn step(&mut self) -> bool {
+        assert!(self.sharded.is_none(), "step() is unsupported in sharded mode");
         let Some((time, _seq, kind)) = self.queue.pop() else {
             return false;
         };
@@ -502,6 +632,11 @@ impl Sim {
     /// Run until the event queue is exhausted or `t_end` (ns) is reached.
     /// Events at exactly `t_end` are processed.
     pub fn run_until(&mut self, t_end: u64) {
+        if self.sharded.is_some() {
+            while self.run_window(t_end) {}
+            self.now = self.now.max(t_end);
+            return;
+        }
         while let Some(head_time) = self.queue.peek_time() {
             if head_time > t_end {
                 break;
@@ -511,8 +646,23 @@ impl Sim {
         self.now = self.now.max(t_end);
     }
 
+    /// Sharded mode: execute one conservative-lookahead window (or one
+    /// batch of scheduled faults) with every event time ≤ `cap`, then
+    /// merge cross-shard traffic at the barrier. Returns `false` when
+    /// nothing at or before `cap` remains. Harness loops interleave this
+    /// with control-plane pumping at window granularity.
+    pub fn run_window(&mut self, cap: u64) -> bool {
+        let Sim { sharded, stats, now, crashed, .. } = self;
+        let sh = sharded.as_deref_mut().expect("run_window requires set_partition");
+        sh.run_window(now, stats, crashed, cap)
+    }
+
     /// Run until the queue drains completely.
     pub fn run_to_completion(&mut self) {
+        if self.sharded.is_some() {
+            while self.run_window(u64::MAX) {}
+            return;
+        }
         while self.step() {}
     }
 
@@ -544,6 +694,7 @@ impl Sim {
             in_neighbors: &self.in_neighbors,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            shard: None,
         };
         logic.on_packet(&mut ctx, from, pkt);
         self.nodes[to.0 as usize] = Some(logic);
@@ -562,6 +713,7 @@ impl Sim {
             in_neighbors: &self.in_neighbors,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            shard: None,
         };
         logic.on_timer(&mut ctx, token);
         self.nodes[node.0 as usize] = Some(logic);
@@ -580,6 +732,7 @@ impl Sim {
             in_neighbors: &self.in_neighbors,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            shard: None,
         };
         logic.on_start(&mut ctx);
         self.nodes[node.0 as usize] = Some(logic);
@@ -593,8 +746,7 @@ mod tests {
     use onepipe_types::ids::ProcessId;
     use onepipe_types::time::Timestamp;
     use onepipe_types::wire::{Opcode, PacketHeader};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn dgram(psn: u32) -> Datagram {
         Datagram {
@@ -614,11 +766,11 @@ mod tests {
 
     /// Records every packet it receives, with arrival time.
     struct Recorder {
-        log: Rc<RefCell<Vec<(u64, u32)>>>,
+        log: Arc<Mutex<Vec<(u64, u32)>>>,
     }
     impl NodeLogic for Recorder {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
-            self.log.borrow_mut().push((ctx.now(), pkt.dgram.header.psn));
+            self.log.lock().unwrap().push((ctx.now(), pkt.dgram.header.psn));
         }
     }
 
@@ -636,14 +788,14 @@ mod tests {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _pkt: SimPacket) {}
     }
 
-    type ArrivalLog = Rc<RefCell<Vec<(u64, u32)>>>;
+    type ArrivalLog = Arc<Mutex<Vec<(u64, u32)>>>;
 
     fn two_node_sim(params: LinkParams) -> (Sim, NodeId, NodeId, ArrivalLog) {
         let mut sim = Sim::new(1);
         let a = sim.add_node();
         let b = sim.add_node();
         sim.add_duplex_link(a, b, params);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         sim.set_logic(b, Box::new(Recorder { log: log.clone() }));
         (sim, a, b, log)
     }
@@ -653,7 +805,7 @@ mod tests {
         let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 50 }));
         sim.run_to_completion();
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(log.len(), 50);
         for w in log.windows(2) {
             assert!(w[0].0 < w[1].0, "arrival times must strictly increase");
@@ -667,13 +819,13 @@ mod tests {
         let (mut sim, a, _b, log) = two_node_sim(params);
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 1000 }));
         sim.run_to_completion();
-        let delivered = log.borrow().len();
+        let delivered = log.lock().unwrap().len();
         assert!(delivered > 350 && delivered < 650, "got {delivered}");
         // Determinism: same seed, same count.
         let (mut sim2, a2, _b2, log2) = two_node_sim(params);
         sim2.set_logic(a2, Box::new(Blaster { peer: NodeId(1), n: 1000 }));
         sim2.run_to_completion();
-        assert_eq!(log2.borrow().len(), delivered);
+        assert_eq!(log2.lock().unwrap().len(), delivered);
     }
 
     #[test]
@@ -683,7 +835,7 @@ mod tests {
         sim.schedule_crash(0, b);
         sim.run_to_completion();
         assert!(sim.is_crashed(b));
-        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(log.lock().unwrap().len(), 0);
     }
 
     #[test]
@@ -693,7 +845,7 @@ mod tests {
         sim.run_until(0); // apply the admin change
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 10 }));
         sim.run_to_completion();
-        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(log.lock().unwrap().len(), 0);
         assert_eq!(sim.stats.drops_link_down, 10);
     }
 
@@ -706,13 +858,13 @@ mod tests {
         sim.run_until(0);
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 3 }));
         sim.run_until(5_000);
-        assert_eq!(log.borrow().len(), 0, "link is down");
+        assert_eq!(log.lock().unwrap().len(), 0, "link is down");
         sim.run_until(10_000); // link back up
         sim.with_node(a, |_, ctx| {
             ctx.send(NodeId(1), SimPacket::new(dgram(7)));
         });
         sim.run_to_completion();
-        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.lock().unwrap().len(), 1);
         assert_eq!(sim.stats.faults_link_flaps, 2);
         assert_eq!(sim.stats.faults_injected(), 2);
     }
@@ -733,12 +885,12 @@ mod tests {
             }
         });
         sim.run_until(50_000);
-        assert_eq!(log.borrow().len(), 0, "all packets lost in burst");
+        assert_eq!(log.lock().unwrap().len(), 0, "all packets lost in burst");
         sim.with_node(a, |_, ctx| {
             ctx.send(NodeId(1), SimPacket::new(dgram(9)));
         });
         sim.run_to_completion();
-        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.lock().unwrap().len(), 1);
         assert_eq!(sim.stats.faults_loss_bursts, 2);
         assert_eq!(sim.stats.drops_inflight, 5);
     }
@@ -750,7 +902,7 @@ mod tests {
         sim.run_until(0);
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 4 }));
         sim.run_to_completion();
-        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(log.lock().unwrap().len(), 0);
         assert_eq!(sim.stats.faults_loss_bursts, 1);
     }
 
@@ -765,7 +917,7 @@ mod tests {
     #[test]
     fn timers_fire_in_order() {
         struct Timers {
-            log: Rc<RefCell<Vec<u64>>>,
+            log: Arc<Mutex<Vec<u64>>>,
         }
         impl NodeLogic for Timers {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -776,15 +928,15 @@ mod tests {
             fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, _: SimPacket) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
                 assert_eq!(ctx.now(), token * 100);
-                self.log.borrow_mut().push(token);
+                self.log.lock().unwrap().push(token);
             }
         }
         let mut sim = Sim::new(0);
         let n = sim.add_node();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         sim.set_logic(n, Box::new(Timers { log: log.clone() }));
         sim.run_to_completion();
-        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
     }
 
     #[test]
@@ -792,9 +944,9 @@ mod tests {
         let (mut sim, a, _b, log) = two_node_sim(LinkParams::default());
         sim.set_logic(a, Box::new(Blaster { peer: NodeId(1), n: 5 }));
         sim.run_until(0); // packets sent but still in flight
-        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(log.lock().unwrap().len(), 0);
         sim.run_until(1_000_000);
-        assert_eq!(log.borrow().len(), 5);
+        assert_eq!(log.lock().unwrap().len(), 5);
         assert_eq!(sim.now(), 1_000_000);
     }
 
@@ -809,8 +961,8 @@ mod tests {
             ctx.send(NodeId(1), SimPacket::new(dgram(42)));
         });
         sim.run_to_completion();
-        assert_eq!(log.borrow().len(), 1);
-        assert_eq!(log.borrow()[0].1, 42);
+        assert_eq!(log.lock().unwrap().len(), 1);
+        assert_eq!(log.lock().unwrap()[0].1, 42);
     }
 
     #[test]

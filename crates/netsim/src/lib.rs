@@ -28,6 +28,7 @@ pub mod engine;
 pub mod link;
 pub mod pcap;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -36,6 +37,6 @@ pub mod traffic;
 pub use engine::{Ctx, NodeLogic, Sim, SimPacket};
 pub use link::{Link, LinkParams};
 pub use pcap::PcapWriter;
-pub use stats::Stats;
+pub use stats::{ShardStat, Stats};
 pub use topology::{FatTreeParams, NodeRole, Topology};
 pub use trace::{TraceRecord, Tracer, TracerHandle};

@@ -110,8 +110,7 @@ mod tests {
     use super::*;
     use crate::engine::{NodeLogic, Sim};
     use crate::link::LinkParams;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct TrafficHost {
         traffic: BackgroundTraffic,
@@ -129,13 +128,13 @@ mod tests {
     }
 
     struct Counter {
-        n: Rc<RefCell<u64>>,
-        bytes: Rc<RefCell<u64>>,
+        n: Arc<Mutex<u64>>,
+        bytes: Arc<Mutex<u64>>,
     }
     impl NodeLogic for Counter {
         fn on_packet(&mut self, _: &mut Ctx<'_>, _: NodeId, pkt: SimPacket) {
-            *self.n.borrow_mut() += 1;
-            *self.bytes.borrow_mut() += pkt.wire_bytes;
+            *self.n.lock().unwrap() += 1;
+            *self.bytes.lock().unwrap() += pkt.wire_bytes;
         }
     }
 
@@ -145,8 +144,8 @@ mod tests {
         let a = sim.add_node();
         let b = sim.add_node();
         sim.add_duplex_link(a, b, LinkParams::default());
-        let n = Rc::new(RefCell::new(0u64));
-        let bytes = Rc::new(RefCell::new(0u64));
+        let n = Arc::new(Mutex::new(0u64));
+        let bytes = Arc::new(Mutex::new(0u64));
         sim.set_logic(b, Box::new(Counter { n: n.clone(), bytes: bytes.clone() }));
         let flows = vec![FlowSpec {
             dst_host: HostId(1),
@@ -158,9 +157,9 @@ mod tests {
         sim.set_logic(a, Box::new(TrafficHost { traffic: BackgroundTraffic::new(flows, b) }));
         let runtime_ns = 10_000_000; // 10 ms
         sim.run_until(runtime_ns);
-        let achieved_bps = *bytes.borrow() as f64 * 8.0 * 1e9 / runtime_ns as f64;
+        let achieved_bps = *bytes.lock().unwrap() as f64 * 8.0 * 1e9 / runtime_ns as f64;
         assert!((0.8e9..1.2e9).contains(&achieved_bps), "achieved {achieved_bps:.3e} bps");
-        assert!(*n.borrow() > 100);
+        assert!(*n.lock().unwrap() > 100);
     }
 
     #[test]
@@ -180,8 +179,8 @@ mod tests {
                 loss_rate: 0.0,
             },
         );
-        let n = Rc::new(RefCell::new(0u64));
-        let bytes = Rc::new(RefCell::new(0u64));
+        let n = Arc::new(Mutex::new(0u64));
+        let bytes = Arc::new(Mutex::new(0u64));
         sim.set_logic(b, Box::new(Counter { n: n.clone(), bytes: bytes.clone() }));
         let flows = vec![FlowSpec {
             dst_host: HostId(1),
@@ -195,7 +194,7 @@ mod tests {
         assert!(sim.stats.ecn_marks > 0, "queue must cross the ECN threshold");
         assert!(sim.stats.drops_overflow > 0, "offered 4x capacity must tail-drop");
         // Delivered goodput is capped by the link, not the offered rate.
-        let achieved = *bytes.borrow() as f64 * 8.0 * 1e9 / 5_000_000.0 / 1e9;
+        let achieved = *bytes.lock().unwrap() as f64 * 8.0 * 1e9 / 5_000_000.0 / 1e9;
         assert!(achieved < 1.3e9, "goodput {achieved:.2e} can't exceed the link");
     }
 

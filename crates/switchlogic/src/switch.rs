@@ -8,9 +8,8 @@ use onepipe_types::ids::{NodeId, ProcessId};
 use onepipe_types::process_map::ProcessMap;
 use onepipe_types::time::{Duration, Timestamp, MICROS};
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Sentinel process id used on hop-by-hop packets (beacons) that have no
 /// process-level source or destination.
@@ -107,11 +106,11 @@ pub enum SwitchEvent {
 #[derive(Clone)]
 pub struct SwitchShared {
     /// The routing topology.
-    pub topo: Rc<Topology>,
+    pub topo: Arc<Topology>,
     /// Process → host placement (routing key).
-    pub procs: Rc<ProcessMap>,
+    pub procs: Arc<ProcessMap>,
     /// Outbox of failure events, drained by the harness.
-    pub events: Rc<RefCell<Vec<SwitchEvent>>>,
+    pub events: Arc<Mutex<Vec<SwitchEvent>>>,
 }
 
 /// Per-switch traffic counters.
@@ -430,7 +429,7 @@ impl NodeLogic for SwitchLogic {
                 let now = ctx.now();
                 let timeout = self.cfg.beacon_interval * self.cfg.dead_after_intervals;
                 for (from, last_commit) in self.agg.detect_dead(now, timeout) {
-                    self.shared.events.borrow_mut().push(SwitchEvent::InLinkDead {
+                    self.shared.events.lock().unwrap().push(SwitchEvent::InLinkDead {
                         switch: ctx.node(),
                         from,
                         last_commit,
@@ -486,8 +485,6 @@ mod tests {
     use onepipe_netsim::engine::Sim;
     use onepipe_netsim::topology::FatTreeParams;
     use onepipe_types::ids::HostId;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     /// A trivial host that records barriers seen in beacons, and can send
     /// one pre-armed data packet.
@@ -495,7 +492,7 @@ mod tests {
         tor: NodeId,
         outbox: Vec<Datagram>,
         barriers: BarrierLog,
-        received: Rc<RefCell<Vec<Datagram>>>,
+        received: Arc<Mutex<Vec<Datagram>>>,
     }
     impl NodeLogic for ProbeHost {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -506,39 +503,39 @@ mod tests {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, pkt: SimPacket) {
             let h = pkt.dgram.header;
             if h.opcode == Opcode::Beacon {
-                self.barriers.borrow_mut().push((ctx.now(), h.barrier, h.commit_barrier));
+                self.barriers.lock().unwrap().push((ctx.now(), h.barrier, h.commit_barrier));
             } else {
-                self.received.borrow_mut().push(pkt.dgram);
+                self.received.lock().unwrap().push(pkt.dgram);
             }
         }
     }
 
-    type BarrierLog = Rc<RefCell<Vec<(u64, Timestamp, Timestamp)>>>;
+    type BarrierLog = Arc<Mutex<Vec<(u64, Timestamp, Timestamp)>>>;
 
     struct World {
         sim: Sim,
-        topo: Rc<Topology>,
+        topo: Arc<Topology>,
         shared: SwitchShared,
         barriers: Vec<BarrierLog>,
-        received: Vec<Rc<RefCell<Vec<Datagram>>>>,
+        received: Vec<Arc<Mutex<Vec<Datagram>>>>,
     }
 
     /// Build a single-rack world with `n` probe hosts; host i's outbox is
     /// `outboxes[i]`.
     fn build_world(n: u32, cfg: SwitchConfig, mut outboxes: Vec<Vec<Datagram>>) -> World {
         let mut sim = Sim::new(99);
-        let topo = Rc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n)));
-        let procs = Rc::new(ProcessMap::place_round_robin(n as usize, n as usize));
+        let topo = Arc::new(Topology::build(&mut sim, FatTreeParams::single_rack(n)));
+        let procs = Arc::new(ProcessMap::place_round_robin(n as usize, n as usize));
         let shared =
-            SwitchShared { topo: topo.clone(), procs, events: Rc::new(RefCell::new(Vec::new())) };
+            SwitchShared { topo: topo.clone(), procs, events: Arc::new(Mutex::new(Vec::new())) };
         for &s in &topo.switch_nodes {
             sim.set_logic(s, Box::new(SwitchLogic::new(shared.clone(), cfg)));
         }
         let mut barriers = Vec::new();
         let mut received = Vec::new();
         for h in 0..n {
-            let b = Rc::new(RefCell::new(Vec::new()));
-            let r = Rc::new(RefCell::new(Vec::new()));
+            let b = Arc::new(Mutex::new(Vec::new()));
+            let r = Arc::new(Mutex::new(Vec::new()));
             let outbox = if (h as usize) < outboxes.len() {
                 std::mem::take(&mut outboxes[h as usize])
             } else {
@@ -572,7 +569,7 @@ mod tests {
     fn data_is_routed_between_hosts() {
         let mut w = build_world(4, SwitchConfig::default(), vec![vec![data_dgram(0, 3, 1000)]]);
         w.sim.run_until(100_000);
-        let got = w.received[3].borrow();
+        let got = w.received[3].lock().unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].src, ProcessId(0));
     }
@@ -584,7 +581,7 @@ mod tests {
         // sender's msg_ts.
         let mut w = build_world(4, SwitchConfig::default(), vec![vec![data_dgram(0, 3, 5_000)]]);
         w.sim.run_until(2_000); // before any host beacons exist
-        let got = w.received[3].borrow();
+        let got = w.received[3].lock().unwrap();
         if let Some(d) = got.first() {
             assert_eq!(d.header.barrier, Timestamp::ZERO);
             assert_eq!(d.header.msg_ts, Timestamp::from_nanos(5_000));
@@ -596,8 +593,8 @@ mod tests {
         let mut w = build_world(2, SwitchConfig::default(), vec![]);
         w.sim.run_until(50_000);
         // Switch beacons reach hosts even with zero data traffic.
-        assert!(!w.barriers[0].borrow().is_empty());
-        assert!(!w.barriers[1].borrow().is_empty());
+        assert!(!w.barriers[0].lock().unwrap().is_empty());
+        assert!(!w.barriers[1].lock().unwrap().is_empty());
     }
 
     #[test]
@@ -608,7 +605,7 @@ mod tests {
         let cfg = SwitchConfig::default();
         let mut w = build_world(2, cfg, vec![]);
         w.sim.run_until(20_000); // < 30 µs dead-link timeout
-        for (_, be, _) in w.barriers[0].borrow().iter() {
+        for (_, be, _) in w.barriers[0].lock().unwrap().iter() {
             assert_eq!(*be, Timestamp::ZERO);
         }
     }
@@ -618,7 +615,7 @@ mod tests {
         let cfg = SwitchConfig::default();
         let mut w = build_world(2, cfg, vec![]);
         w.sim.run_until(200_000); // 200 µs >> 30 µs timeout
-        let events = w.shared.events.borrow();
+        let events = w.shared.events.lock().unwrap();
         // Both silent host links (and no fabric links, which carry beacons)
         // must be reported dead by the ToR-up switch.
         let host_nodes: Vec<NodeId> = (0..2).map(|h| w.topo.host_node(HostId(h))).collect();
@@ -640,11 +637,11 @@ mod tests {
         // system does not crash, and events fire exactly once per link.
         let mut w = build_world(2, SwitchConfig::default(), vec![]);
         w.sim.run_until(500_000);
-        let events = w.shared.events.borrow();
+        let events = w.shared.events.lock().unwrap();
         let dead_count = events.len();
         drop(events);
         w.sim.run_until(1_000_000);
-        assert_eq!(w.shared.events.borrow().len(), dead_count, "re-reported dead links");
+        assert_eq!(w.shared.events.lock().unwrap().len(), dead_count, "re-reported dead links");
     }
 
     #[test]
@@ -655,7 +652,7 @@ mod tests {
         };
         let mut w = build_world(4, cfg, vec![vec![data_dgram(0, 3, 5_000)]]);
         w.sim.run_until(100_000);
-        let got = w.received[3].borrow();
+        let got = w.received[3].lock().unwrap();
         assert_eq!(got.len(), 1);
         // CPU mode leaves the sender-initialized barrier field untouched.
         assert_eq!(got[0].header.barrier, Timestamp::from_nanos(5_000));
@@ -674,8 +671,8 @@ mod tests {
         chip.sim.run_until(100_000);
         cpu.sim.run_until(100_000);
         // Both deliver beacons; CPU-mode beacons are delayed by processing.
-        assert!(!chip.barriers[0].borrow().is_empty());
-        assert!(!cpu.barriers[0].borrow().is_empty());
+        assert!(!chip.barriers[0].lock().unwrap().is_empty());
+        assert!(!cpu.barriers[0].lock().unwrap().is_empty());
     }
 
     #[test]

@@ -66,12 +66,10 @@ use onepipe_types::ids::{HostId, NodeId, ProcessId};
 use onepipe_types::message::{Delivered, Message};
 use onepipe_types::time::{Duration as NsDuration, Timestamp, MICROS, MILLIS};
 use onepipe_types::wire::{Datagram, Flags, Opcode, PacketHeader};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -948,11 +946,11 @@ fn run_process(
         MonotonicClock::perfect(),
         vec![Endpoint::new(id, cfg)],
         beacon_interval,
-        Rc::new(RefCell::new(Vec::new())),
-        Rc::new(RefCell::new(Vec::new())),
-        Rc::new(RefCell::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
     );
-    rt.set_app(Rc::new(RefCell::new(ChannelApp { del_tx, ev_tx, raw_tx })));
+    rt.set_app(Arc::new(Mutex::new(ChannelApp { del_tx, ev_tx, raw_tx })));
     let mut wire = UdpWire { sock: &sock, switch_addr, epoch, id };
     // Initial leader guesses are spread over the replicas so follower
     // contact (and the Redirect path) gets exercised, not just the lucky
@@ -1004,8 +1002,9 @@ fn run_process(
         // Route controller requests over the management plane: requests
         // that must reach the log go through the retrying client;
         // forwarding stays best-effort (data-path fallback, not state).
-        let reqs: Vec<(ProcessId, CtrlRequest)> = rt.ctrl_outbox.borrow_mut().drain(..).collect();
-        for (from, req) in reqs {
+        let reqs: Vec<(u64, ProcessId, CtrlRequest)> =
+            rt.ctrl_outbox.lock().unwrap().drain(..).collect();
+        for (_raised_at, from, req) in reqs {
             match req {
                 CtrlRequest::CallbackComplete { announce_id } => {
                     client.submit(CtrlEvent::CallbackComplete { announce_id, from }, now);
@@ -1022,8 +1021,8 @@ fn run_process(
         client.pump(now_ns(epoch), &sock);
         // The app hook already forwarded these to the channels; the sinks
         // exist for harness-style inspection, which nothing does here.
-        rt.deliveries.borrow_mut().clear();
-        rt.user_events.borrow_mut().clear();
+        rt.deliveries.lock().unwrap().clear();
+        rt.user_events.lock().unwrap().clear();
     }
 }
 

@@ -15,9 +15,8 @@ use onepipe::service::simhost::{AppHook, SendQueue};
 use onepipe::types::ids::{HostId, ProcessId};
 use onepipe::types::message::{Delivered, Message};
 use onepipe::types::time::MICROS;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const SHARDS: u32 = 4;
 const CLIENTS: u32 = 4;
@@ -115,15 +114,15 @@ impl AppHook for Bank {
 
 fn main() {
     let mut cluster = Cluster::new(ClusterConfig::testbed((SHARDS + CLIENTS) as usize));
-    let bank = Rc::new(RefCell::new(Bank::new()));
+    let bank = Arc::new(Mutex::new(Bank::new()));
     cluster.set_app(bank.clone());
 
-    let initial_total = bank.borrow().total();
+    let initial_total = bank.lock().unwrap().total();
     println!("initial total balance: {initial_total}");
 
     cluster.run_for(3_000 * MICROS);
 
-    let bank = bank.borrow();
+    let bank = bank.lock().unwrap();
     println!("transfer legs applied: {}", bank.transfers_applied);
     println!("final total balance:   {}", bank.total());
     for (s, m) in bank.balances.iter().enumerate() {

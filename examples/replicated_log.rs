@@ -16,9 +16,8 @@ use onepipe::service::simhost::{AppHook, SendQueue};
 use onepipe::types::ids::{HostId, ProcessId};
 use onepipe::types::message::{Delivered, Message};
 use onepipe::types::time::MICROS;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const REPLICAS: u32 = 3;
 const CLIENTS: u32 = 4;
@@ -130,11 +129,11 @@ impl AppHook for ReplicatedLog {
 
 fn main() {
     let mut cluster = Cluster::new(ClusterConfig::testbed((REPLICAS + CLIENTS) as usize));
-    let log = Rc::new(RefCell::new(ReplicatedLog::new()));
+    let log = Arc::new(Mutex::new(ReplicatedLog::new()));
     cluster.set_app(log.clone());
     cluster.run_for(5_000 * MICROS);
 
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     println!("entries per replica: {:?}", log.logs.iter().map(|l| l.len()).collect::<Vec<_>>());
     println!("confirmed (all checksums equal): {}", log.confirmed);
     println!("checksum mismatches:             {}", log.mismatches);

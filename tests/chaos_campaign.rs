@@ -63,6 +63,40 @@ fn chaos_replay_matches_recorded_delivery_log() {
     );
 }
 
+/// Sharded-engine determinism regression: the same chaos seed replayed
+/// on the rack-sharded engine must produce a byte-identical delivery log
+/// for every compute-lane count ≥ 1, and match the recorded golden.
+/// (The sharded golden differs from `replay_seed3.log`: the sharded
+/// harness pumps the control plane at window barriers rather than after
+/// every event, which shifts recovery timing — deterministically.)
+/// Regenerate deliberately with `BLESS_CHAOS_REPLAY=1 cargo test`.
+#[test]
+fn sharded_chaos_replay_matches_golden_across_lane_counts() {
+    let mut cfg = CampaignConfig::testbed();
+    let schedule =
+        FaultSchedule::generate(3, cfg.warmup, cfg.fault_window, &cfg.cluster.topo, &cfg.budget);
+    cfg.cluster.threads = 1;
+    let one = run_with_schedule(&cfg, 3, &schedule);
+    assert!(one.deliveries > 0, "replay seed must actually deliver traffic");
+    cfg.cluster.threads = 2;
+    let two = run_with_schedule(&cfg, 3, &schedule);
+    assert_eq!(
+        one.delivery_log, two.delivery_log,
+        "sharded delivery log diverged between 1 and 2 lanes — determinism broke"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/chaos/replay_seed3_sharded.log");
+    if std::env::var_os("BLESS_CHAOS_REPLAY").is_some() {
+        std::fs::write(path, &one.delivery_log).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("recorded sharded golden log missing; regenerate with BLESS_CHAOS_REPLAY=1");
+    assert_eq!(
+        one.delivery_log, golden,
+        "sharded delivery log diverged from the recorded replay — engine determinism broke"
+    );
+}
+
 #[test]
 fn explicit_host_crash_schedule_stays_atomic() {
     let cfg = CampaignConfig::testbed();

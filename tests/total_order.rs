@@ -191,7 +191,7 @@ fn causality_delivered_ts_below_receiver_clock() {
     cfg.perfect_clocks = true;
     let mut c = Cluster::new(cfg);
     let (_, _, _) = random_workload(&mut c, 8, 20, 0.5, 11);
-    for d in c.deliveries.borrow().iter() {
+    for d in c.deliveries.lock().unwrap().iter() {
         assert!(
             d.at >= d.msg.ts.raw(),
             "delivered before the message timestamp — causality violated"

@@ -8,8 +8,7 @@ use onepipe::service::simhost::{AppHook, SendQueue};
 use onepipe::types::ids::{HostId, ProcessId};
 use onepipe::types::message::{Delivered, Message};
 use onepipe::types::time::MICROS;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
 // §2.2.1 Write-after-write (WAW): A writes O, then notifies B WITHOUT a
@@ -100,10 +99,10 @@ impl AppHook for WawApp {
 #[test]
 fn waw_hazard_removed_without_fences() {
     let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
-    let app = Rc::new(RefCell::new(WawApp::default()));
+    let app = Arc::new(Mutex::new(WawApp::default()));
     c.set_app(app.clone());
     c.run_for(3_000 * MICROS);
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     assert!(app.reads_seen.len() >= 20, "got {}", app.reads_seen.len());
     // Every read B issued after being notified of write #v must observe a
     // value ≥ v. Reads arrive in order, so values are non-decreasing and
@@ -220,10 +219,10 @@ impl AppHook for IriwApp {
 #[test]
 fn iriw_hazard_removed_without_fences() {
     let mut c = Cluster::new(ClusterConfig::single_rack(4, 4));
-    let app = Rc::new(RefCell::new(IriwApp::default()));
+    let app = Arc::new(Mutex::new(IriwApp::default()));
     c.set_app(app.clone());
     c.run_for(3_000 * MICROS);
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     assert!(app.checks > 10);
     assert_eq!(app.violations, 0, "B observed metadata without its data");
 }
@@ -333,10 +332,10 @@ impl AppHook for SnapshotApp {
 fn distributed_snapshot_is_consistent() {
     let n = 6u32;
     let mut c = Cluster::new(ClusterConfig::single_rack(6, n as usize));
-    let app = Rc::new(RefCell::new(SnapshotApp::new(n)));
+    let app = Arc::new(Mutex::new(SnapshotApp::new(n)));
     c.set_app(app.clone());
     c.run_for(5_000 * MICROS);
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     let snap: Vec<i64> =
         app.snapshot.iter().map(|s| s.expect("every process recorded the marker")).collect();
     let total: i64 = snap.iter().sum();
@@ -417,7 +416,7 @@ impl AppHook for LockApp {
 fn smr_lock_manager_agrees_on_holder_sequence() {
     let n = 5u32;
     let mut c = Cluster::new(ClusterConfig::single_rack(5, n as usize));
-    let app = Rc::new(RefCell::new(LockApp {
+    let app = Arc::new(Mutex::new(LockApp {
         n,
         grants: vec![Vec::new(); n as usize],
         holder: vec![None; n as usize],
@@ -426,7 +425,7 @@ fn smr_lock_manager_agrees_on_holder_sequence() {
     }));
     c.set_app(app.clone());
     c.run_for(5_000 * MICROS);
-    let app = app.borrow();
+    let app = app.lock().unwrap();
     assert!(app.grants[0].len() > 10, "locks were granted");
     for i in 1..n as usize {
         assert_eq!(
