@@ -14,10 +14,14 @@
 //! Transports adapt it through the tiny [`Wire`] trait: the deterministic
 //! simulator ([`simhost::HostLogic`]) implements it over simulator packet
 //! sends, the UDP transport (`onepipe-udp`) over a real socket. Both
-//! drivers reduce to glue — receive a datagram → [`HostRuntime::on_datagram`],
-//! timer/poll tick → [`HostRuntime::on_tick`] — so the pump semantics
-//! (drain order, callback completion, the beacon invariant) exist exactly
-//! once.
+//! drivers reduce to glue — receive a datagram → [`HostRuntime::on_datagram`]
+//! (or a whole RX burst → [`HostRuntime::on_datagram_burst`]), timer/poll
+//! tick → [`HostRuntime::on_tick`] — so the pump semantics (drain order,
+//! callback completion, the beacon invariant) exist exactly once.
+//!
+//! [`Wire::emit`] queues; the runtime signals [`Wire::flush`] at pump
+//! boundaries so batching transports know when a coherent burst is
+//! complete (see the trait docs for the exact contract).
 //!
 //! [`simhost::HostLogic`]: crate::simhost::HostLogic
 
@@ -38,11 +42,36 @@ use std::sync::{Arc, Mutex};
 /// (beacons, commit messages); transports whose switch identifies input
 /// links by packet source (the UDP soft switch) rewrite that sentinel to
 /// the local process id on the way out.
+///
+/// # Batched contract
+///
+/// `emit` is a *queue*, not necessarily a transmit: a transport may
+/// accumulate emitted datagrams into a TX batch. The runtime calls
+/// [`flush`](Wire::flush) at every pump boundary — the end of each public
+/// entry point, and after the beacon in [`HostRuntime::on_tick`] — which
+/// is the transport's signal that a coherent burst is complete and may be
+/// coalesced onto the wire. Two rules bound the transport's freedom:
+///
+/// 1. **FIFO**: datagrams toward one destination leave in `emit` order
+///    (the beacon invariant depends on it — a beacon emitted after data
+///    must not overtake it, §4.1).
+/// 2. **Bounded deferral**: everything emitted must be on the wire by the
+///    time the driver's own outer pump iteration ends; a transport may
+///    defer across `flush` calls within one driver iteration (the UDP
+///    driver does, to coalesce an RX burst's reactions into one frame),
+///    never across iterations.
+///
+/// The simulator keeps the default no-op `flush` and transmits in `emit`,
+/// which trivially satisfies both rules and preserves event-for-event
+/// behavior.
 pub trait Wire {
     /// True time now, in nanoseconds of the transport's epoch.
     fn now(&self) -> u64;
-    /// Transmit a datagram toward the first-hop switch.
+    /// Queue a datagram toward the first-hop switch.
     fn emit(&mut self, d: Datagram);
+    /// Pump boundary: the runtime has no more datagrams to emit for this
+    /// burst; batching transports may transmit the accumulated frame now.
+    fn flush(&mut self) {}
 }
 
 /// One delivered message, recorded with the true (transport) time.
@@ -233,6 +262,7 @@ impl HostRuntime {
         // barrier, observed deliveries), so `local` may be too low.
         let ts = ep.last_assigned_ts();
         self.flush(wire);
+        wire.flush();
         Ok((ts, sid.seq))
     }
 
@@ -248,6 +278,7 @@ impl HostRuntime {
             ep.send_raw(to, payload);
         }
         self.flush(wire);
+        wire.flush();
     }
 
     /// Deliver a controller failure announcement to a local process.
@@ -263,6 +294,7 @@ impl HostRuntime {
             ep.on_failure_announcement(local, announce_id, failures);
         }
         self.flush(wire);
+        wire.flush();
     }
 
     /// Deliver a controller-forwarded datagram to a local process.
@@ -272,10 +304,37 @@ impl HostRuntime {
             ep.handle_datagram(local, d);
         }
         self.flush(wire);
+        wire.flush();
     }
 
     /// Process one datagram arriving from the wire, then flush.
     pub fn on_datagram(&mut self, wire: &mut impl Wire, d: Datagram) {
+        self.ingest(wire, d);
+        self.flush(wire);
+        wire.flush();
+    }
+
+    /// Process a burst of received datagrams as one pump: endpoint output
+    /// is drained after each datagram (reactions stay prompt and ordered
+    /// exactly as N [`on_datagram`](Self::on_datagram) calls would leave
+    /// them), but the transport sees a single [`Wire::flush`] at the end,
+    /// so everything the burst provoked — ACKs, commits, retransmissions,
+    /// app reactions — can coalesce into one wire frame.
+    pub fn on_datagram_burst(
+        &mut self,
+        wire: &mut impl Wire,
+        burst: impl IntoIterator<Item = Datagram>,
+    ) {
+        for d in burst {
+            self.ingest(wire, d);
+            self.flush(wire);
+        }
+        wire.flush();
+    }
+
+    /// Dispatch one received datagram to the endpoints / app hook,
+    /// without draining outputs (callers flush).
+    fn ingest(&mut self, wire: &mut impl Wire, d: Datagram) {
         let now = wire.now();
         let local = self.clock.now(now);
         match d.header.opcode {
@@ -301,7 +360,6 @@ impl HostRuntime {
                 }
             }
         }
-        self.flush(wire);
     }
 
     /// One poll tick: advance endpoint timers, run the application's
@@ -321,6 +379,9 @@ impl HostRuntime {
         }
         self.flush(wire);
         self.emit_beacon(wire);
+        // The beacon rides the same flushed frame as any data ahead of it:
+        // intra-frame order preserves the flush-before-beacon invariant.
+        wire.flush();
     }
 
     /// True time of the next poll/beacon tick after `now`: the next

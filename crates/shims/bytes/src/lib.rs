@@ -67,6 +67,25 @@ impl Bytes {
         self.start += at;
         front
     }
+
+    /// Reclaim the underlying storage as a [`BytesMut`] when this is the
+    /// only outstanding handle; otherwise hand `self` back unchanged.
+    /// Matches `bytes::Bytes::try_into_mut` semantics: success requires
+    /// unique ownership, and the result views exactly the bytes this
+    /// view did (capacity beyond the view is retained for reuse).
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(mut v) => {
+                v.truncate(end);
+                if start > 0 {
+                    v.drain(..start);
+                }
+                Ok(BytesMut { vec: v, read: 0 })
+            }
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl std::ops::Deref for Bytes {
@@ -234,6 +253,30 @@ impl BytesMut {
         self.vec.reserve(additional);
     }
 
+    /// Usable capacity from the current read position.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity() - self.read
+    }
+
+    /// Drop all contents (read and unread) without releasing storage.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+        self.read = 0;
+    }
+
+    /// Truncate the unread region to at most `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.vec.truncate(self.read + len);
+        }
+    }
+
+    /// Resize the unread region to exactly `new_len` bytes, filling any
+    /// growth with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(self.read + new_len, value);
+    }
+
     /// Freeze into an immutable, shareable buffer.
     pub fn freeze(mut self) -> Bytes {
         if self.read > 0 {
@@ -247,6 +290,13 @@ impl std::ops::Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.vec[self.read..]
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let read = self.read;
+        &mut self.vec[read..]
     }
 }
 
@@ -444,5 +494,67 @@ mod tests {
         assert_eq!(b, *b"abc".as_slice());
         assert!(b == b"abc".as_slice());
         assert_eq!(b.as_ref(), b"abc");
+    }
+
+    #[test]
+    fn resize_truncate_clear_and_deref_mut() {
+        let mut b = BytesMut::new();
+        b.resize(8, 0);
+        assert_eq!(b.len(), 8);
+        b[..4].copy_from_slice(b"abcd");
+        b.truncate(4);
+        assert_eq!(&b[..], b"abcd");
+        // truncate never grows
+        b.truncate(100);
+        assert_eq!(b.len(), 4);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 8);
+    }
+
+    #[test]
+    fn resize_respects_read_cursor() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"xxhello");
+        b.advance(2);
+        assert_eq!(&b[..], b"hello");
+        b.resize(3, 0);
+        assert_eq!(&b[..], b"hel");
+        b.resize(5, b'!');
+        assert_eq!(&b[..], b"hel!!");
+    }
+
+    #[test]
+    fn try_into_mut_unique_and_shared() {
+        // Unique handle: storage is reclaimed, view preserved.
+        let b = Bytes::from(b"hello world".to_vec());
+        let sliced = b.slice(6..11);
+        drop(b); // slice must be the only handle left
+        let m = sliced.try_into_mut().expect("unique handle reclaims");
+        assert_eq!(&m[..], b"world");
+
+        // Shared handle: reclaim fails and returns the original view.
+        let b = Bytes::from(b"shared".to_vec());
+        let clone = b.clone();
+        let back = b.try_into_mut().expect_err("shared handle must fail");
+        assert_eq!(back, clone);
+        drop(clone);
+        // Last handle standing succeeds again.
+        let m = back.try_into_mut().expect("now unique");
+        assert_eq!(&m[..], b"shared");
+    }
+
+    #[test]
+    fn recycle_keeps_capacity_for_pool_reuse() {
+        // The UDP receive pool relies on freeze → slice → drop-slices →
+        // try_into_mut to recycle a full-size buffer without re-zeroing.
+        let mut b = BytesMut::new();
+        b.resize(1024, 0);
+        let full = b.freeze();
+        let frame = full.slice(0..10);
+        assert!(frame.clone().try_into_mut().is_err(), "two handles alive");
+        drop(frame);
+        let back = full.try_into_mut().expect("slices dropped");
+        assert_eq!(back.len(), 1024, "full-length buffer comes back");
     }
 }

@@ -18,6 +18,8 @@ pub enum Error {
     },
     /// Unknown opcode byte on the wire.
     BadOpcode(u8),
+    /// A batch frame header was malformed (unknown version byte).
+    BadFrameVersion(u8),
     /// The send buffer is full; the application should retry later
     /// (paper §6.1: "If the send buffer is full, the send API returns fail").
     SendBufferFull,
@@ -53,6 +55,7 @@ impl std::fmt::Display for Error {
                 write!(f, "truncated buffer: needed {needed} bytes, got {got}")
             }
             Error::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            Error::BadFrameVersion(v) => write!(f, "unknown batch frame version {v}"),
             Error::SendBufferFull => write!(f, "send buffer full"),
             Error::UnknownProcess(p) => write!(f, "unknown process {p:?}"),
             Error::ProcessFailed(p) => write!(f, "process {p:?} has failed"),

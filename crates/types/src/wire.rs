@@ -217,18 +217,31 @@ impl Datagram {
         ADDR_LEN + HEADER_LEN + self.payload.len()
     }
 
-    /// Serialize to a fresh buffer.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+    /// Serialize into `buf` without allocating (appends exactly
+    /// [`encoded_len`](Self::encoded_len) bytes). Transports reuse one
+    /// scratch buffer across sends instead of allocating per datagram.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
         buf.put_u32(self.src.0);
         buf.put_u32(self.dst.0);
         buf.put_u32(self.payload.len() as u32);
-        self.header.encode(&mut buf);
+        self.header.encode(buf);
         buf.extend_from_slice(&self.payload);
+    }
+
+    /// Serialize to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
     /// Deserialize from a buffer produced by [`encode`](Self::encode).
+    ///
+    /// Zero-copy: the payload is a sub-view sharing `buf`'s storage (for
+    /// pooled receive buffers this means no per-packet heap copy). Empty
+    /// payloads return a detached [`Bytes::new`] so beacons and ACKs never
+    /// pin a pool chunk.
     pub fn decode(mut buf: Bytes) -> crate::Result<Self> {
         if buf.remaining() < ADDR_LEN + HEADER_LEN {
             return Err(crate::Error::Truncated {
@@ -243,8 +256,174 @@ impl Datagram {
         if buf.remaining() < len {
             return Err(crate::Error::Truncated { needed: len, got: buf.remaining() });
         }
-        let payload = buf.split_to(len);
+        let payload = if len == 0 { Bytes::new() } else { buf.split_to(len) };
         Ok(Datagram { src, dst, header, payload })
+    }
+}
+
+/// First byte of a batch frame. Distinguishable from a legacy bare
+/// [`Datagram`] because a bare encoding starts with the high byte of the
+/// source [`ProcessId`], and process ids stay far below `0xB100_0000`.
+pub const BATCH_MAGIC: u8 = 0xB1;
+
+/// Batch frame format version carried in the second byte.
+pub const BATCH_VERSION: u8 = 1;
+
+/// Fixed bytes before the first datagram of a batch frame
+/// (magic + version + u16 count).
+pub const BATCH_HEADER_LEN: usize = 4;
+
+/// Per-datagram framing overhead inside a batch (u32 length prefix).
+pub const BATCH_ENTRY_OVERHEAD: usize = 4;
+
+/// Incremental encoder for a multi-datagram batch frame:
+///
+/// ```text
+/// [magic 0xB1][version u8][count u16] then count ×: [len u32][Datagram]
+/// ```
+///
+/// Push datagrams, then call [`finish`](Self::finish) to patch the count.
+/// One UDP packet carries the whole frame, so beacons/ACKs/mgmt piggyback
+/// on data and N datagrams cost one syscall.
+pub struct BatchEncoder<'a> {
+    buf: &'a mut BytesMut,
+    base: usize,
+    count: u16,
+}
+
+impl<'a> BatchEncoder<'a> {
+    /// Start a frame at the current end of `buf`.
+    pub fn new(buf: &'a mut BytesMut) -> Self {
+        let base = buf.len();
+        buf.put_u8(BATCH_MAGIC);
+        buf.put_u8(BATCH_VERSION);
+        buf.put_u16(0); // count, patched by finish()
+        BatchEncoder { buf, base, count: 0 }
+    }
+
+    /// Append one datagram with its length prefix.
+    ///
+    /// # Panics
+    /// If the frame already holds `u16::MAX` datagrams; callers split
+    /// frames long before that (see [`Self::is_full`]).
+    pub fn push(&mut self, d: &Datagram) {
+        assert!(self.count < u16::MAX, "batch frame datagram count overflow");
+        self.buf.put_u32(d.encoded_len() as u32);
+        d.encode_into(self.buf);
+        self.count += 1;
+    }
+
+    /// Number of datagrams pushed so far.
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+
+    /// Encoded frame size so far, in bytes.
+    pub fn frame_len(&self) -> usize {
+        self.buf.len() - self.base
+    }
+
+    /// True once no further datagram may be pushed.
+    pub fn is_full(&self) -> bool {
+        self.count == u16::MAX
+    }
+
+    /// Patch the datagram count into the header and return it.
+    pub fn finish(self) -> u16 {
+        let c = self.count.to_be_bytes();
+        self.buf[self.base + 2] = c[0];
+        self.buf[self.base + 3] = c[1];
+        self.count
+    }
+}
+
+/// Encode `datagrams` as a single batch frame appended to `buf`.
+pub fn encode_batch_into(datagrams: &[Datagram], buf: &mut BytesMut) {
+    let mut enc = BatchEncoder::new(buf);
+    for d in datagrams {
+        enc.push(d);
+    }
+    enc.finish();
+}
+
+/// Decode one received UDP frame, which is either a batch frame or a
+/// legacy bare [`Datagram`]. Yields one `Result` per framed datagram.
+///
+/// Framing is trusted over content: a corrupt *inner* datagram (bad
+/// opcode, truncated header) yields an `Err` for that entry but iteration
+/// continues at the next length prefix, so one bad packet never mis-frames
+/// the rest of the batch. A corrupt length prefix (running past the frame)
+/// poisons the remainder of that frame only.
+pub fn decode_frame(frame: Bytes) -> FrameIter {
+    if frame.first() == Some(&BATCH_MAGIC) {
+        if frame.len() < BATCH_HEADER_LEN {
+            return FrameIter::Poisoned(Some(crate::Error::Truncated {
+                needed: BATCH_HEADER_LEN,
+                got: frame.len(),
+            }));
+        }
+        let mut buf = frame;
+        buf.advance(1);
+        let version = buf.get_u8();
+        if version != BATCH_VERSION {
+            return FrameIter::Poisoned(Some(crate::Error::BadFrameVersion(version)));
+        }
+        let remaining = buf.get_u16();
+        FrameIter::Batch { buf, remaining, dead: false }
+    } else {
+        FrameIter::Legacy(Some(frame))
+    }
+}
+
+/// Iterator over the datagrams of one frame; see [`decode_frame`].
+pub enum FrameIter {
+    /// A pre-batching frame holding exactly one bare datagram.
+    Legacy(Option<Bytes>),
+    /// A batch frame; `remaining` entries left, `dead` once framing broke.
+    Batch {
+        /// Unconsumed frame bytes.
+        buf: Bytes,
+        /// Entries the header still promises.
+        remaining: u16,
+        /// Set when a length prefix overran the frame.
+        dead: bool,
+    },
+    /// A frame whose batch header itself was malformed: yields the error once.
+    Poisoned(Option<crate::Error>),
+}
+
+impl Iterator for FrameIter {
+    type Item = crate::Result<Datagram>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            FrameIter::Legacy(slot) => slot.take().map(Datagram::decode),
+            FrameIter::Poisoned(slot) => slot.take().map(Err),
+            FrameIter::Batch { buf, remaining, dead } => {
+                if *dead || *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                if buf.remaining() < BATCH_ENTRY_OVERHEAD {
+                    *dead = true;
+                    return Some(Err(crate::Error::Truncated {
+                        needed: BATCH_ENTRY_OVERHEAD,
+                        got: buf.remaining(),
+                    }));
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    *dead = true;
+                    return Some(Err(crate::Error::Truncated {
+                        needed: len,
+                        got: buf.remaining(),
+                    }));
+                }
+                // Framing survives a corrupt entry: skip by length, decode
+                // the slice independently.
+                Some(Datagram::decode(buf.split_to(len)))
+            }
+        }
     }
 }
 
@@ -343,5 +522,126 @@ mod tests {
         assert!(!Opcode::Beacon.is_data());
         assert!(!Opcode::Ack.is_data());
         assert!(!Opcode::Commit.is_data());
+    }
+
+    fn sample_datagram(src: u32, body: &[u8]) -> Datagram {
+        Datagram {
+            src: ProcessId(src),
+            dst: ProcessId(src + 1),
+            header: sample_header(),
+            payload: Bytes::copy_from_slice(body),
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let d = sample_datagram(3, b"payload bytes");
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"prefix"); // appends after existing content
+        d.encode_into(&mut buf);
+        assert_eq!(&buf[6..], &d.encode()[..]);
+    }
+
+    #[test]
+    fn decode_payload_is_zero_copy_slice() {
+        let d = sample_datagram(1, b"shared storage");
+        let encoded = d.encode();
+        let decoded = Datagram::decode(encoded.clone()).unwrap();
+        // The frame and the payload share one allocation: while the payload
+        // handle lives, the frame cannot be reclaimed...
+        assert!(encoded.clone().try_into_mut().is_err());
+        // ...and once the decoded datagram drops, it can.
+        drop(decoded);
+        assert!(encoded.try_into_mut().is_ok());
+    }
+
+    #[test]
+    fn empty_payload_does_not_pin_frame() {
+        let d = sample_datagram(1, b"");
+        let encoded = d.encode();
+        let decoded = Datagram::decode(encoded.clone()).unwrap();
+        assert!(decoded.payload.is_empty());
+        // Beacon-like packets must not hold the receive buffer alive.
+        assert!(encoded.try_into_mut().is_ok());
+        drop(decoded);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let ds =
+            vec![sample_datagram(1, b"first"), sample_datagram(2, b""), sample_datagram(3, b"x")];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        assert_eq!(
+            buf.len(),
+            BATCH_HEADER_LEN
+                + ds.iter().map(|d| BATCH_ENTRY_OVERHEAD + d.encoded_len()).sum::<usize>()
+        );
+        let out: Vec<Datagram> =
+            decode_frame(buf.freeze()).collect::<crate::Result<Vec<_>>>().unwrap();
+        assert_eq!(out, ds);
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let mut buf = BytesMut::new();
+        encode_batch_into(&[], &mut buf);
+        assert_eq!(decode_frame(buf.freeze()).count(), 0);
+    }
+
+    #[test]
+    fn legacy_frame_still_decodes() {
+        let d = sample_datagram(4, b"old format");
+        let out: Vec<Datagram> =
+            decode_frame(d.encode()).collect::<crate::Result<Vec<_>>>().unwrap();
+        assert_eq!(out, vec![d]);
+    }
+
+    #[test]
+    fn corrupt_inner_datagram_does_not_misframe_batch() {
+        let ds = vec![
+            sample_datagram(1, b"ok1"),
+            sample_datagram(2, b"bad"),
+            sample_datagram(3, b"ok2"),
+        ];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        // Corrupt the middle datagram's opcode byte (inside its slice).
+        let mid_off = BATCH_HEADER_LEN
+            + BATCH_ENTRY_OVERHEAD
+            + ds[0].encoded_len()
+            + BATCH_ENTRY_OVERHEAD
+            + ADDR_LEN
+            + 22; // opcode byte within the header
+        buf[mid_off] = 0xFF;
+        let items: Vec<_> = decode_frame(buf.freeze()).collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_ref().unwrap(), &ds[0]);
+        assert!(matches!(items[1], Err(crate::Error::BadOpcode(0xFF))));
+        // The third datagram survives the corrupt second one.
+        assert_eq!(items[2].as_ref().unwrap(), &ds[2]);
+    }
+
+    #[test]
+    fn truncated_batch_poisons_remainder_without_panicking() {
+        let ds = vec![sample_datagram(1, b"aaaa"), sample_datagram(2, b"bbbb")];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let items: Vec<_> = decode_frame(full.slice(0..cut)).collect();
+            // Never more entries than promised; errors allowed, panics not.
+            assert!(items.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn bad_batch_version_rejected() {
+        let mut buf = BytesMut::new();
+        encode_batch_into(&[sample_datagram(1, b"v")], &mut buf);
+        buf[1] = 9; // version byte
+        let items: Vec<_> = decode_frame(buf.freeze()).collect();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(items[0], Err(crate::Error::BadFrameVersion(9))));
     }
 }

@@ -1,0 +1,185 @@
+//! Property tests for the packet codec and the batch frame (§6.1).
+//!
+//! The decoder sits on the untrusted side of a UDP socket: whatever
+//! bytes arrive, it must either produce a datagram identical to what
+//! `encode` would have emitted or reject with an error — never panic,
+//! and never let a corrupt batch *entry* mis-frame the entries after it
+//! (the length prefix is the framing authority, not the entry body).
+
+use bytes::{Bytes, BytesMut};
+use onepipe_types::ids::ProcessId;
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::{
+    decode_frame, encode_batch_into, Datagram, Flags, Opcode, PacketHeader, BATCH_HEADER_LEN,
+    BATCH_MAGIC, BATCH_VERSION,
+};
+use proptest::prelude::*;
+
+/// Raw field draw for one datagram: (src, dst, msg_ts, psn, opcode,
+/// flags, payload_len, payload_seed). The shim's tuple strategies cap at
+/// eight elements, so barriers derive from `msg_ts` rotations and the
+/// payload expands deterministically from the seed.
+type DgramSeed = (u32, u32, u64, u32, u8, u8, usize, u64);
+
+fn seed_strategy() -> (
+    impl Strategy<Value = u32>,
+    impl Strategy<Value = u32>,
+    impl Strategy<Value = u64>,
+    impl Strategy<Value = u32>,
+    impl Strategy<Value = u8>,
+    impl Strategy<Value = u8>,
+    impl Strategy<Value = usize>,
+    impl Strategy<Value = u64>,
+) {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        0u8..10,
+        0u8..16,
+        0usize..200,
+        any::<u64>(),
+    )
+}
+
+fn mk_datagram(seed: &DgramSeed) -> Datagram {
+    let &(src, dst, msg_ts, psn, op, flags, paylen, payseed) = seed;
+    let mut payload = Vec::with_capacity(paylen);
+    let mut s = payseed | 1;
+    for _ in 0..paylen {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        payload.push((s >> 56) as u8);
+    }
+    Datagram {
+        src: ProcessId(src),
+        dst: ProcessId(dst),
+        header: PacketHeader {
+            msg_ts: Timestamp::from_raw(msg_ts),
+            barrier: Timestamp::from_raw(msg_ts.rotate_left(17)),
+            commit_barrier: Timestamp::from_raw(msg_ts.rotate_left(33)),
+            psn,
+            opcode: Opcode::from_u8(op).unwrap(),
+            flags: Flags::from_bits(flags),
+        },
+        payload: Bytes::from(payload),
+    }
+}
+
+proptest! {
+    /// encode -> decode is the identity, for both encode paths.
+    #[test]
+    fn datagram_roundtrip(seed in seed_strategy()) {
+        let d = mk_datagram(&seed);
+        let via_encode = Datagram::decode(d.encode()).expect("decodes");
+        prop_assert_eq!(&via_encode, &d);
+        let mut buf = BytesMut::new();
+        d.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), d.encoded_len());
+        let via_into = Datagram::decode(buf.freeze()).expect("decodes");
+        prop_assert_eq!(&via_into, &d);
+    }
+
+    /// A batch of datagrams survives framing: same count, same contents,
+    /// same order.
+    #[test]
+    fn batch_roundtrip(seeds in proptest::collection::vec(seed_strategy(), 1..12)) {
+        let ds: Vec<Datagram> = seeds.iter().map(mk_datagram).collect();
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        let decoded: Vec<Datagram> = decode_frame(buf.freeze())
+            .collect::<Result<Vec<_>, _>>()
+            .expect("whole batch decodes");
+        prop_assert_eq!(decoded, ds);
+    }
+
+    /// Arbitrary bytes never panic the frame decoder — they decode or
+    /// they error, and the iterator always terminates.
+    #[test]
+    fn random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..600)) {
+        for item in decode_frame(Bytes::from(raw)).take(10_000) {
+            let _ = item;
+        }
+    }
+
+    /// Truncating a valid batch frame anywhere never panics, and every
+    /// entry that does come out intact is one of the originals, in order.
+    #[test]
+    fn truncation_never_panics_or_invents(
+        seeds in proptest::collection::vec(seed_strategy(), 1..8),
+        cut_pm in 0usize..1001,
+    ) {
+        let ds: Vec<Datagram> = seeds.iter().map(mk_datagram).collect();
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        let full = buf.freeze();
+        let cut = full.len() * cut_pm / 1000;
+        let mut next = 0usize;
+        // Errors are fine (truncation must surface, not panic), so only
+        // the successfully decoded entries are checked.
+        for d in decode_frame(full.slice(0..cut)).flatten() {
+            prop_assert!(next < ds.len(), "decoded more entries than were encoded");
+            prop_assert_eq!(&d, &ds[next], "decoded entry {} differs", next);
+            next += 1;
+        }
+        prop_assert!(next <= ds.len());
+    }
+
+    /// Corrupting bytes *inside one entry's body* must not mis-frame the
+    /// entries after it: the length prefix is the framing authority, so
+    /// every later entry still decodes in position.
+    #[test]
+    fn corrupt_entry_body_does_not_misframe_neighbours(
+        seeds in proptest::collection::vec(seed_strategy(), 3..8),
+        victim_off in 0usize..36,
+        xor in 1u8..=255u8,
+    ) {
+        let ds: Vec<Datagram> = seeds.iter().map(mk_datagram).collect();
+        let mut buf = BytesMut::new();
+        encode_batch_into(&ds, &mut buf);
+        let mut raw = buf.to_vec();
+        // Flip a byte inside the first entry's body (after its 4-byte
+        // length prefix): the 12-byte src/dst/len block plus the 24-byte
+        // packet header — 36 bytes that decode but are not framing.
+        let at = BATCH_HEADER_LEN + 4 + victim_off;
+        raw[at] ^= xor;
+        let results: Vec<_> = decode_frame(Bytes::from(raw)).collect();
+        prop_assert_eq!(results.len(), ds.len(), "entry count preserved");
+        // Entry 0 may decode to garbage (if the flipped bits still form a
+        // valid header) or error — but entries 1.. must be byte-identical
+        // survivors, never shifted.
+        for (i, item) in results.iter().enumerate().skip(1) {
+            match item {
+                Ok(d) => prop_assert_eq!(d, &ds[i], "entry {} mis-framed", i),
+                Err(e) => prop_assert!(false, "entry {} should survive: {e:?}", i),
+            }
+        }
+    }
+
+    /// Unknown batch frame versions are rejected as an error, not misread
+    /// as datagram bytes.
+    #[test]
+    fn unknown_frame_version_rejected(
+        vraw in any::<u8>(),
+        tail in proptest::collection::vec(any::<u8>(), 2..100),
+    ) {
+        let version = if vraw == BATCH_VERSION { 0 } else { vraw };
+        let mut raw = vec![BATCH_MAGIC, version];
+        raw.extend_from_slice(&tail);
+        let items: Vec<_> = decode_frame(Bytes::from(raw)).collect();
+        prop_assert_eq!(items.len(), 1);
+        prop_assert!(items[0].is_err(), "bad version must be an error");
+    }
+
+    /// Legacy bare datagrams (no batch header) still decode through
+    /// decode_frame, as long as the source pid stays clear of the magic
+    /// byte — which real ProcessIds (< 0xB100_0000) always do.
+    #[test]
+    fn legacy_bare_datagram_still_decodes(seed in seed_strategy()) {
+        let mut d = mk_datagram(&seed);
+        d.src = ProcessId(d.src.0 & 0x00FF_FFFF); // high byte 0: never 0xB1
+        let items: Vec<_> = decode_frame(d.encode()).collect();
+        prop_assert_eq!(items.len(), 1);
+        prop_assert_eq!(items[0].as_ref().unwrap(), &d);
+    }
+}

@@ -1,0 +1,314 @@
+//! Batched I/O plumbing for the UDP transport: the pooled receive path,
+//! the shared coalescing transmit helper, and the cluster-wide I/O
+//! counters.
+//!
+//! One UDP frame is either a legacy bare [`Datagram`] or a batch frame
+//! (`onepipe_types::wire::BATCH_MAGIC`) carrying several datagrams behind
+//! length prefixes — see [`decode_frame`]. The receive path reads into a
+//! pooled buffer, freezes it, and slices datagram payloads out of the
+//! shared allocation (zero-copy); once every payload slice has been
+//! consumed, [`RecvPool::recycle`] reclaims the buffer for the next
+//! `recv_from` without re-zeroing.
+//!
+//! [`decode_frame`]: onepipe_types::wire::decode_frame
+
+use bytes::{Bytes, BytesMut};
+use onepipe_controller::MgmtFrame;
+use onepipe_core::endpoint::HOP_LOCAL;
+use onepipe_types::time::Timestamp;
+use onepipe_types::wire::{BatchEncoder, Datagram, Flags, Opcode, PacketHeader};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Receive buffer size: the largest UDP datagram loopback can deliver.
+pub(crate) const RECV_BUF_LEN: usize = 65536;
+
+/// Default cap on one coalesced TX frame. Well under the 64 KiB UDP limit
+/// so a burst splits into several realistic frames instead of one jumbo.
+pub(crate) const DEFAULT_MAX_FRAME: usize = 16 * 1024;
+
+/// Cap on datagrams consumed from the socket in one RX drain, so a
+/// continuously loaded socket cannot starve the tick/command work.
+pub(crate) const RX_BURST_MAX: usize = 64;
+
+/// Number of TX batch-size histogram buckets: bucket `i` (1-based count)
+/// counts frames carrying `i` datagrams, the last bucket is `>= 16`.
+pub const BATCH_HIST_BUCKETS: usize = 16;
+
+/// Cluster-wide transport I/O counters, shared by every driver thread
+/// (hosts, soft switch, controller replicas). Frames are syscalls;
+/// datagrams are 1Pipe packets — their ratio is the batching win.
+#[derive(Default)]
+pub struct UdpStats {
+    rx_frames: AtomicU64,
+    rx_datagrams: AtomicU64,
+    rx_bytes: AtomicU64,
+    tx_frames: AtomicU64,
+    tx_datagrams: AtomicU64,
+    tx_bytes: AtomicU64,
+    /// Undecodable input: frames or framed entries the decoder rejected.
+    /// Counted, never silently swallowed (they used to be).
+    decode_errors: AtomicU64,
+    tx_batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+impl UdpStats {
+    pub(crate) fn note_rx_frame(&self, bytes: usize) {
+        self.rx_frames.fetch_add(1, Ordering::Relaxed);
+        self.rx_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_rx_datagram(&self) {
+        self.rx_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_tx_frame(&self, datagrams: usize, bytes: usize) {
+        self.tx_frames.fetch_add(1, Ordering::Relaxed);
+        self.tx_datagrams.fetch_add(datagrams as u64, Ordering::Relaxed);
+        self.tx_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let bucket = datagrams.clamp(1, BATCH_HIST_BUCKETS) - 1;
+        self.tx_batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> UdpStatsSnapshot {
+        let mut hist = [0u64; BATCH_HIST_BUCKETS];
+        for (out, c) in hist.iter_mut().zip(&self.tx_batch_hist) {
+            *out = c.load(Ordering::Relaxed);
+        }
+        UdpStatsSnapshot {
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
+            rx_bytes: self.rx_bytes.load(Ordering::Relaxed),
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            tx_datagrams: self.tx_datagrams.load(Ordering::Relaxed),
+            tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            tx_batch_hist: hist,
+        }
+    }
+}
+
+/// Point-in-time copy of [`UdpStats`]; see [`UdpCluster::stats`].
+///
+/// [`UdpCluster::stats`]: crate::UdpCluster::stats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UdpStatsSnapshot {
+    /// UDP packets received (one `recv_from` syscall each).
+    pub rx_frames: u64,
+    /// 1Pipe datagrams successfully decoded out of received frames.
+    pub rx_datagrams: u64,
+    /// Payload bytes received, at frame granularity.
+    pub rx_bytes: u64,
+    /// UDP packets sent (one `send_to` syscall each).
+    pub tx_frames: u64,
+    /// 1Pipe datagrams carried by sent frames.
+    pub tx_datagrams: u64,
+    /// Bytes sent, at frame granularity.
+    pub tx_bytes: u64,
+    /// Frames or framed entries the decoder rejected.
+    pub decode_errors: u64,
+    /// TX frames by datagram count: bucket `i` = frames carrying `i + 1`
+    /// datagrams; the last bucket aggregates everything larger.
+    pub tx_batch_hist: [u64; BATCH_HIST_BUCKETS],
+}
+
+impl UdpStatsSnapshot {
+    /// Messages per syscall across both directions — the headline
+    /// batching metric (1.0 on the per-datagram baseline path).
+    pub fn msgs_per_syscall(&self) -> f64 {
+        let frames = self.rx_frames + self.tx_frames;
+        if frames == 0 {
+            return 0.0;
+        }
+        (self.rx_datagrams + self.tx_datagrams) as f64 / frames as f64
+    }
+
+    /// Counter-wise difference (`self - earlier`), for measuring a
+    /// bounded phase between two snapshots.
+    pub fn since(&self, earlier: &UdpStatsSnapshot) -> UdpStatsSnapshot {
+        let mut hist = [0u64; BATCH_HIST_BUCKETS];
+        for (i, h) in hist.iter_mut().enumerate() {
+            *h = self.tx_batch_hist[i] - earlier.tx_batch_hist[i];
+        }
+        UdpStatsSnapshot {
+            rx_frames: self.rx_frames - earlier.rx_frames,
+            rx_datagrams: self.rx_datagrams - earlier.rx_datagrams,
+            rx_bytes: self.rx_bytes - earlier.rx_bytes,
+            tx_frames: self.tx_frames - earlier.tx_frames,
+            tx_datagrams: self.tx_datagrams - earlier.tx_datagrams,
+            tx_bytes: self.tx_bytes - earlier.tx_bytes,
+            decode_errors: self.decode_errors - earlier.decode_errors,
+            tx_batch_hist: hist,
+        }
+    }
+}
+
+/// Pool of full-size receive buffers. `recv_from` reads into a pooled
+/// `BytesMut`, [`recv`](Self::recv) freezes it into a shared [`Bytes`],
+/// and decoding slices payloads out of that allocation. When every slice
+/// has been dropped, [`recycle`](Self::recycle) reclaims the buffer —
+/// steady state does zero allocation and zero zeroing per packet.
+pub(crate) struct RecvPool {
+    free: Vec<BytesMut>,
+    max_free: usize,
+}
+
+impl RecvPool {
+    pub(crate) fn new() -> Self {
+        RecvPool { free: Vec::new(), max_free: 32 }
+    }
+
+    /// Receive one UDP frame: `(full buffer, frame length, sender)`. The
+    /// caller decodes from `full.slice(0..len)` and hands `full` back via
+    /// [`recycle`](Self::recycle).
+    pub(crate) fn recv(&mut self, sock: &UdpSocket) -> std::io::Result<(Bytes, usize, SocketAddr)> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        if buf.len() < RECV_BUF_LEN {
+            buf.resize(RECV_BUF_LEN, 0);
+        }
+        match sock.recv_from(&mut buf[..]) {
+            Ok((len, from)) => Ok((buf.freeze(), len, from)),
+            Err(e) => {
+                self.free.push(buf);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attempt to reclaim a receive buffer. Succeeds exactly when no
+    /// payload slice escaped into longer-lived state (reorder store,
+    /// delivery channel); otherwise the allocation is released to the
+    /// outstanding slices and freed when the last of them drops.
+    pub(crate) fn recycle(&mut self, full: Bytes) {
+        if self.free.len() >= self.max_free {
+            return;
+        }
+        if let Ok(buf) = full.try_into_mut() {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// The one place this crate turns datagrams into `send_to` syscalls.
+///
+/// Every transmit path — host wire emissions, soft-switch forwards,
+/// management frames, controller actions — goes through a `PacketTx`, so
+/// encoding reuses one scratch buffer (no per-send allocation) and the
+/// I/O counters can't be bypassed. With `coalesce` on, queued datagrams
+/// to the same destination share batch frames of up to `max_frame` bytes;
+/// off, every datagram goes out immediately in the legacy bare encoding
+/// (the per-datagram baseline `udp_perf` compares against).
+pub(crate) struct PacketTx {
+    coalesce: bool,
+    max_frame: usize,
+    scratch: BytesMut,
+    /// Per-destination queues; destinations number in the tens at most,
+    /// so a linear scan beats a map.
+    queues: Vec<(SocketAddr, Vec<Datagram>)>,
+    stats: Arc<UdpStats>,
+}
+
+impl PacketTx {
+    pub(crate) fn new(coalesce: bool, max_frame: usize, stats: Arc<UdpStats>) -> Self {
+        PacketTx { coalesce, max_frame, scratch: BytesMut::new(), queues: Vec::new(), stats }
+    }
+
+    /// Transmit one datagram immediately, bypassing the queue — the
+    /// control-plane path (management frames, controller actions), where
+    /// retry timers assume the frame is on the wire when the call returns.
+    pub(crate) fn send_now(&mut self, sock: &UdpSocket, to: SocketAddr, d: &Datagram) {
+        self.scratch.clear();
+        d.encode_into(&mut self.scratch);
+        let _ = sock.send_to(&self.scratch[..], to);
+        self.stats.note_tx_frame(1, self.scratch.len());
+    }
+
+    /// Wrap `frame` in an `Opcode::Mgmt` datagram and transmit it now.
+    pub(crate) fn send_mgmt(&mut self, sock: &UdpSocket, to: SocketAddr, frame: &MgmtFrame) {
+        let d = Datagram {
+            src: HOP_LOCAL,
+            dst: HOP_LOCAL,
+            header: PacketHeader {
+                msg_ts: Timestamp::ZERO,
+                barrier: Timestamp::ZERO,
+                commit_barrier: Timestamp::ZERO,
+                psn: 0,
+                opcode: Opcode::Mgmt,
+                flags: Flags::empty(),
+            },
+            payload: frame.encode(),
+        };
+        self.send_now(sock, to, &d);
+    }
+
+    /// Queue a datagram toward `to`; transmits early if the destination's
+    /// pending frame would overflow `max_frame`.
+    pub(crate) fn push(&mut self, sock: &UdpSocket, to: SocketAddr, d: Datagram) {
+        if !self.coalesce {
+            self.send_now(sock, to, &d);
+            return;
+        }
+        let qi = match self.queues.iter().position(|(a, _)| *a == to) {
+            Some(i) => i,
+            None => {
+                self.queues.push((to, Vec::new()));
+                self.queues.len() - 1
+            }
+        };
+        self.queues[qi].1.push(d);
+        let est: usize = onepipe_types::wire::BATCH_HEADER_LEN
+            + self.queues[qi]
+                .1
+                .iter()
+                .map(|d| onepipe_types::wire::BATCH_ENTRY_OVERHEAD + d.encoded_len())
+                .sum::<usize>();
+        if est >= self.max_frame {
+            self.flush_dest(sock, qi);
+        }
+    }
+
+    /// Transmit every queued datagram, preserving per-destination FIFO.
+    pub(crate) fn flush(&mut self, sock: &UdpSocket) {
+        for qi in 0..self.queues.len() {
+            self.flush_dest(sock, qi);
+        }
+    }
+
+    fn flush_dest(&mut self, sock: &UdpSocket, qi: usize) {
+        if self.queues[qi].1.is_empty() {
+            return;
+        }
+        let (to, ds) = {
+            let (addr, q) = &mut self.queues[qi];
+            (*addr, std::mem::take(q))
+        };
+        let mut i = 0;
+        while i < ds.len() {
+            self.scratch.clear();
+            let mut enc = BatchEncoder::new(&mut self.scratch);
+            // Always take at least one datagram per frame; stop before
+            // overflowing max_frame (an oversized single datagram still
+            // goes out alone — UDP will fragment or reject it, same as
+            // the unbatched path).
+            enc.push(&ds[i]);
+            i += 1;
+            while i < ds.len()
+                && !enc.is_full()
+                && enc.frame_len() + onepipe_types::wire::BATCH_ENTRY_OVERHEAD + ds[i].encoded_len()
+                    <= self.max_frame
+            {
+                enc.push(&ds[i]);
+                i += 1;
+            }
+            let count = enc.finish() as usize;
+            let _ = sock.send_to(&self.scratch[..], to);
+            self.stats.note_tx_frame(count, self.scratch.len());
+        }
+    }
+}

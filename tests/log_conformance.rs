@@ -13,16 +13,18 @@
 
 use bytes::{Buf, Bytes};
 use onepipe::log::proto::{self, tag};
+use onepipe::log::service::{LogConfig, LogService};
 use onepipe::log::shard::ShardState;
 use onepipe::service::config::EndpointConfig;
 use onepipe::service::harness::{Cluster, ClusterConfig};
 use onepipe::types::ids::ProcessId;
 use onepipe::types::message::Message;
 use onepipe::types::time::MICROS;
-use onepipe::udp::UdpCluster;
+use onepipe::udp::{UdpCluster, UdpClusterBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// UDP clusters spawn several busy threads each; serialize with the
 /// other transport tests (same global lock discipline as
@@ -233,4 +235,139 @@ fn same_per_stream_record_order_on_sim_and_udp() {
     // exactly once despite the injected duplicates and reorders.
     let total: usize = sim_fp.iter().map(|(_, rs)| rs.len()).sum();
     assert_eq!(total, (N_CLIENTS as u64 * BATCHES_PER_CLIENT) as usize);
+}
+
+// ---------------------------------------------------------------------
+// Full LogService end-to-end: the complete pub/sub service (clients,
+// sharded owners + replicas, subscriber fan-out) runs unmodified as a
+// pluggable AppHook on both transports, and the shard logs must agree.
+// ---------------------------------------------------------------------
+
+const SVC_BATCHES_PER_CLIENT: u64 = 8;
+
+fn svc_config() -> LogConfig {
+    LogConfig {
+        n_shards: 2,
+        n_clients: 2,
+        n_subs: 1,
+        n_streams: 4,
+        replicate: true,
+        fanout: 1,
+        // Reliable-append acks take tens of ms on loopback (RTO floors);
+        // keep the client resend and subscriber pull-repair timers above
+        // that so neither transport fights its own retries.
+        resend_after_ns: 500_000_000,
+        fetch_after_ns: 500_000_000,
+        drive: None,
+        ..LogConfig::default()
+    }
+}
+
+/// The deterministic submission schedule: (client, stream, payload).
+fn svc_workload(cfg: &LogConfig) -> Vec<(u32, u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    for round in 0..SVC_BATCHES_PER_CLIENT {
+        for client in 0..cfg.n_clients {
+            let stream = (round + client as u64) % cfg.n_streams;
+            out.push((client, stream, vec![(round as u8) << 2 | client as u8; 6]));
+        }
+    }
+    out
+}
+
+/// Owner-shard per-stream fingerprint of the service's logs.
+fn svc_fingerprint(svc: &LogService, cfg: &LogConfig) -> Vec<(u64, Vec<RecordFp>)> {
+    (0..cfg.n_streams)
+        .map(|stream| {
+            let owner = svc.owner(stream).expect("stream has a live owner");
+            let records = svc
+                .shard_state(owner)
+                .stream(stream)
+                .map(|log| {
+                    log.records
+                        .iter()
+                        .map(|r| (r.offset, r.client, r.seq, r.payload.to_vec()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            (stream, records)
+        })
+        .collect()
+}
+
+/// Drive the service on the simulator, one batch at a time.
+fn run_svc_sim(cfg: &LogConfig) -> Vec<(u64, Vec<RecordFp>)> {
+    let n = cfg.n_processes();
+    let mut ccfg = ClusterConfig::single_rack(n as u32, n);
+    ccfg.seed = SEED;
+    let mut cluster = Cluster::new(ccfg);
+    let app = Arc::new(Mutex::new(LogService::new(cfg.clone())));
+    cluster.set_app(app.clone());
+    cluster.run_for(100 * MICROS);
+
+    for (i, (client, stream, payload)) in svc_workload(cfg).into_iter().enumerate() {
+        app.lock().unwrap().submit(client, stream, payload);
+        let want = (i + 1) as u64;
+        let mut spins = 0;
+        while app.lock().unwrap().acked_appends < want {
+            cluster.run_for(100 * MICROS);
+            spins += 1;
+            assert!(spins < 1000, "sim: append {want} never acknowledged");
+        }
+    }
+    cluster.run_for(2_000 * MICROS);
+    let svc = app.lock().unwrap();
+    assert_eq!(svc.unacked_total(), 0);
+    svc_fingerprint(&svc, cfg)
+}
+
+/// Drive the identical service over loopback UDP: the same shared
+/// `LogService` instance is installed into every process's driver via
+/// the builder's pluggable hook, exactly as the sim harness shares it
+/// across hosts.
+fn run_svc_udp(cfg: &LogConfig) -> Vec<(u64, Vec<RecordFp>)> {
+    let app: Arc<Mutex<LogService>> = Arc::new(Mutex::new(LogService::new(cfg.clone())));
+    let hook = app.clone() as Arc<Mutex<dyn onepipe::service::runtime::AppHook>>;
+    let cluster = UdpClusterBuilder::new(cfg.n_processes())
+        .config(EndpointConfig::default())
+        .app_hook(hook)
+        .build()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // barriers start
+
+    for (i, (client, stream, payload)) in svc_workload(cfg).into_iter().enumerate() {
+        app.lock().unwrap().submit(client, stream, payload);
+        let want = (i + 1) as u64;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while app.lock().unwrap().acked_appends < want {
+            assert!(Instant::now() < deadline, "udp: append {want} never acknowledged");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Let replication and fan-out quiesce.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while app.lock().unwrap().unacked_total() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let fp = {
+        let svc = app.lock().unwrap();
+        assert_eq!(svc.unacked_total(), 0);
+        svc_fingerprint(&svc, cfg)
+    };
+    cluster.shutdown();
+    fp
+}
+
+#[test]
+fn log_service_end_to_end_sim_and_udp_agree() {
+    let _guard = TEST_LOCK.lock();
+    let cfg = svc_config();
+    let sim_fp = run_svc_sim(&cfg);
+    let udp_fp = run_svc_udp(&cfg);
+    assert_eq!(
+        sim_fp, udp_fp,
+        "the full log service must produce identical shard logs on sim and UDP"
+    );
+    let total: usize = sim_fp.iter().map(|(_, rs)| rs.len()).sum();
+    assert_eq!(total, (cfg.n_clients as u64 * SVC_BATCHES_PER_CLIENT) as usize);
 }

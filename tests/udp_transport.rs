@@ -13,7 +13,7 @@ use onepipe::service::harness::{Cluster, ClusterConfig};
 use onepipe::types::ids::ProcessId;
 use onepipe::types::message::Message;
 use onepipe::types::time::{MICROS, MILLIS};
-use onepipe::udp::UdpCluster;
+use onepipe::udp::{UdpCluster, UdpClusterBuilder};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -108,6 +108,66 @@ fn conformance_udp_reliable_scatter() {
     assert_eq!(delivered, expected_deliveries(), "udp: all reliable scatterings delivered");
     oracle.finalize(0, &[]);
     assert!(oracle.ok(), "udp invariants: {}", oracle.first_violation().unwrap());
+    // The workload ran on the batched wire: frames carried real traffic,
+    // nothing arrived undecodable, and at least one frame coalesced
+    // several datagrams (a scatter to two receivers leaves the sender in
+    // one frame).
+    let stats = cluster.stats();
+    assert_eq!(stats.decode_errors, 0, "no undecodable frames on a healthy run");
+    assert!(stats.rx_frames > 0, "traffic flowed");
+    assert!(
+        stats.rx_datagrams > stats.rx_frames,
+        "batched path must coalesce: {} datagrams over {} frames",
+        stats.rx_datagrams,
+        stats.rx_frames
+    );
+    cluster.shutdown();
+}
+
+/// The same oracle-judged workload over the per-datagram (uncoalesced)
+/// wire: batching must be a pure transport optimization, invisible to
+/// the ordering invariants.
+#[test]
+fn conformance_udp_reliable_scatter_uncoalesced() {
+    let _guard = TEST_LOCK.lock();
+    let cluster = UdpClusterBuilder::new(N)
+        .config(EndpointConfig::default())
+        .coalesce(false)
+        .build()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut oracle = Oracle::new();
+    for (round, (sender, receivers)) in workload().into_iter().enumerate() {
+        let msgs: Vec<Message> =
+            receivers.iter().map(|&d| Message::new(d, payload(round, sender))).collect();
+        let (ts, seq) = cluster
+            .process(sender.0 as usize)
+            .send_traced(msgs, true, Duration::from_secs(5))
+            .expect("udp send accepted");
+        oracle.register_send(ts.raw(), sender, seq, ts, receivers, true);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut delivered = 0usize;
+    while delivered < expected_deliveries() && Instant::now() < deadline {
+        for i in 0..N {
+            let receiver = ProcessId(i as u32);
+            for (msg, reliable) in cluster.process(i).try_recv_all() {
+                assert!(reliable, "workload is reliable-only");
+                oracle.observe_delivery(msg.ts.raw(), receiver, &msg, reliable);
+                delivered += 1;
+            }
+            for ev in cluster.process(i).try_events() {
+                oracle.observe_event(0, receiver, &ev);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(delivered, expected_deliveries(), "uncoalesced: all scatterings delivered");
+    oracle.finalize(0, &[]);
+    assert!(oracle.ok(), "uncoalesced invariants: {}", oracle.first_violation().unwrap());
+    let stats = cluster.stats();
+    assert_eq!(stats.rx_frames, stats.rx_datagrams, "baseline is one datagram per frame");
     cluster.shutdown();
 }
 
